@@ -1,0 +1,78 @@
+"""Design-choice ablations from the paper's sections 4.4 and 6.
+
+* **Diff batching** ("decreasing contention at the network interface
+  by sending fewer and larger messages" -- section 6's first proposed
+  optimization): one message per destination home per release instead
+  of one per page.
+* **Release serialization** (section 4.4 requires it for
+  non-overlapping checkpoints; the paper notes it "limits concurrency
+  and introduces delays in the exchange of locks"): measure its cost
+  by switching it off, which is only safe failure-free.
+* **Checkpointing** (sections 4.4/5.2): remove points A/B entirely to
+  isolate their share of the extended protocol's overhead.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_result
+from repro.harness.experiments import run_app
+
+
+def _ablation_table():
+    rows = [f"{'configuration':44s} {'WaterNsq_us':>12s} {'FFT_us':>10s}"
+            f" {'diff_msgs':>10s}",
+            "-" * 80]
+    out = {}
+
+    def cell(app, **overrides):
+        return run_app(app, "ft", scale="bench", **overrides)
+
+    for label, overrides in (
+        ("extended (paper defaults)", {}),
+        ("+ batched diff propagation", {"batch_diffs": True}),
+        ("- checkpointing", {"checkpointing": False}),
+        ("- release serialization (2 thr/node)",
+         {"serialize_releases": False, "threads_per_node": 2}),
+    ):
+        water = cell("WaterNsq", **overrides)
+        fft = cell("FFT", **overrides)
+        rows.append(f"{label:44s} {water.elapsed_us:12.0f} "
+                    f"{fft.elapsed_us:10.0f} "
+                    f"{fft.counters.total.diff_messages:10d}")
+        out[label] = {
+            "water_us": water.elapsed_us,
+            "fft_us": fft.elapsed_us,
+            "fft_diff_messages": fft.counters.total.diff_messages,
+        }
+    # Reference points for the serialization ablation.
+    serialized = cell("WaterNsq", threads_per_node=2)
+    out["serialized (2 thr/node)"] = {"water_us": serialized.elapsed_us}
+    rows.append(f"{'serialized releases (2 thr/node)':44s} "
+                f"{serialized.elapsed_us:12.0f} {'':>10s} {'':>10s}")
+    return out, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_design_ablations(benchmark):
+    data, text = run_once(benchmark, _ablation_table)
+    save_result("ablations", text)
+    benchmark.extra_info["results"] = {
+        k: {kk: round(vv, 1) for kk, vv in v.items()}
+        for k, v in data.items()}
+
+    default = data["extended (paper defaults)"]
+    batched = data["+ batched diff propagation"]
+    no_ckpt = data["- checkpointing"]
+
+    # Batching cuts message count hard (one per home pair per release
+    # instead of one per page) and must not hurt end-to-end time.
+    assert batched["fft_diff_messages"] < \
+        default["fft_diff_messages"] / 2
+    assert batched["fft_us"] <= default["fft_us"] * 1.05
+    # Checkpointing has a real, strictly positive cost.
+    assert no_ckpt["water_us"] < default["water_us"]
+    # Parallel releases help (or at least do not hurt) the lock-heavy
+    # app at 2 threads/node -- the concurrency the paper gave up.
+    parallel = data["- release serialization (2 thr/node)"]
+    serialized = data["serialized (2 thr/node)"]
+    assert parallel["water_us"] <= serialized["water_us"] * 1.05

@@ -1,0 +1,36 @@
+"""Figure 7: execution-time breakdown, 8 nodes x 1 thread/node.
+
+Regenerates the paper's Figure 7 bars: for each of the six SPLASH-2
+applications, total execution time split into compute / data wait /
+lock / barrier, for the base protocol (0) and the extended
+fault-tolerant protocol (1). The paper reports overheads between 20%
+(RadixLocal) and 67% (WaterSpatialFL) in this configuration.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_result
+from repro.harness.figures import figure7, overhead_summary
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_figure7_uniprocessor(benchmark):
+    data, text = run_once(benchmark, lambda: figure7(scale="bench"))
+    save_result("fig7_uniprocessor", text)
+    base, extended = data["base"], data["extended"]
+    overheads = overhead_summary(base, extended)
+    benchmark.extra_info["overheads_pct"] = {
+        app: round(pct, 1) for app, pct in overheads.items()}
+
+    # Shape assertions against the paper's claims:
+    # every app slows down under the extended protocol...
+    for app, pct in overheads.items():
+        assert pct > 0, f"{app} shows no FT overhead"
+    # ...and RadixLocal sits at the low end (paper: 20% -- lowest; we
+    # accept within 10 points of our minimum, since FFT and Radix trade
+    # places within noise at simulation scale).
+    assert overheads["RadixLocal"] <= min(
+        overheads[a] for a in overheads) + 10.0
+    # Base FFT/LU (owner-computes) send no diffs at all; extended does.
+    assert base["FFT"].counters.total.diff_messages == 0
+    assert extended["FFT"].counters.total.diff_messages > 0

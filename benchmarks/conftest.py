@@ -1,0 +1,23 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs the simulations once (they are deterministic),
+prints the regenerated table, and records headline numbers in
+pytest-benchmark's extra_info. The formatted tables are also written
+under results/ so EXPERIMENTS.md can reference them.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

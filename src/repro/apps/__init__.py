@@ -1,0 +1,34 @@
+"""Application workloads: SPLASH-2 re-implementations and synthetics.
+
+The six applications match the paper's evaluation suite (section 5.1);
+each reproduces its original's sharing pattern (home-page-diff ratio,
+lock count, release frequency) and computes a real, verifiable result
+through the simulated shared memory.
+"""
+
+from repro.apps.base import AppContext, Workload
+from repro.apps.fft import FFT
+from repro.apps.kvstore import KVStore
+from repro.apps.lu import LU
+from repro.apps.ocean import Ocean
+from repro.apps.radix import RadixSort
+from repro.apps.randomprog import RandomProgram
+from repro.apps.synthetic import SyntheticWorkload
+from repro.apps.volrend import Volrend
+from repro.apps.water_nsquared import WaterNsquared
+from repro.apps.water_spatial import WaterSpatial
+
+__all__ = [
+    "AppContext",
+    "Workload",
+    "FFT",
+    "KVStore",
+    "LU",
+    "Ocean",
+    "WaterNsquared",
+    "WaterSpatial",
+    "RadixSort",
+    "RandomProgram",
+    "Volrend",
+    "SyntheticWorkload",
+]

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` -- one application under one protocol, with breakdown output;
+* ``suite`` -- the six-application comparison (Figure 7 style);
+* ``figures`` -- regenerate all four paper figures into a directory;
+* ``profile`` -- sharing fingerprint + operation latencies of one app;
+* ``recover`` -- fault-injection demo with a recovery timeline;
+* ``list`` -- available applications and scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.harness.experiments import (
+    APP_ORDER,
+    evaluation_config,
+    run_app,
+    workload_factories,
+)
+from repro.metrics import format_breakdown_table
+
+
+def _cmd_list(_args) -> int:
+    print("applications:", ", ".join(APP_ORDER))
+    print("scales: test (seconds), bench (default), large (minutes)")
+    print("protocols: base (GeNIMA), ft (extended fault-tolerant)")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_app(args.app, args.variant,
+                     threads_per_node=args.threads,
+                     scale=args.scale,
+                     lock_algorithm=args.lock)
+    print(f"{args.app} / {args.variant} / {args.threads} thread(s) per "
+          f"node / scale={args.scale}")
+    print(f"simulated execution time: {result.elapsed_us:.0f} us")
+    print()
+    six = result.breakdown.six_component()
+    total = sum(six.values())
+    for component, value in six.items():
+        share = value / total * 100 if total else 0.0
+        print(f"  {component:16s} {value:12.1f} us  {share:5.1f}%")
+    totals = result.counters.total
+    print()
+    print(f"  page faults {totals.page_faults}, pages diffed "
+          f"{totals.pages_diffed} (home fraction "
+          f"{result.counters.home_diff_fraction:.2f}), lock acquires "
+          f"{totals.lock_acquires}, checkpoints {totals.checkpoints}")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    rows = {}
+    overheads = {}
+    for app in APP_ORDER:
+        base = run_app(app, "base", threads_per_node=args.threads,
+                       scale=args.scale)
+        extended = run_app(app, "ft", threads_per_node=args.threads,
+                           scale=args.scale)
+        rows[f"{app}/0"] = base.breakdown.four_component()
+        rows[f"{app}/1"] = extended.breakdown.four_component()
+        overheads[app] = (extended.elapsed_us / base.elapsed_us - 1) * 100
+    print(format_breakdown_table(
+        f"SPLASH-2 suite, 8 nodes x {args.threads} thread(s)/node "
+        "(0 = base, 1 = extended)",
+        rows, ("compute", "data_wait", "lock", "barrier")))
+    print()
+    for app, pct in overheads.items():
+        print(f"  {app:12s} FT overhead {pct:6.1f}%")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.harness.figures import figure7, figure8, figure9, figure10
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, fn in (("fig7", figure7), ("fig8", figure8),
+                     ("fig9", figure9), ("fig10", figure10)):
+        _data, text = fn(scale=args.scale)
+        (outdir / f"{name}.txt").write_text(text + "\n")
+        print(f"wrote {outdir / (name + '.txt')}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.harness.runner import SvmRuntime
+    from repro.metrics import SharingProfiler
+
+    factory = workload_factories(args.scale)[args.app]
+    config = evaluation_config(args.variant,
+                               threads_per_node=args.threads)
+    runtime = SvmRuntime(config, factory())
+    profiler = SharingProfiler(runtime)
+    result = runtime.run()
+    print(f"{args.app} / {args.variant}: sharing profile by segment")
+    print(profiler.table())
+    print()
+    print("operation latencies:")
+    print(result.latency.table())
+    totals = result.counters.total
+    print()
+    print(f"pages diffed {totals.pages_diffed} (home fraction "
+          f"{result.counters.home_diff_fraction:.2f}); faults "
+          f"{totals.page_faults}; checkpoints {totals.checkpoints}")
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.cluster import FailureInjector, Hooks
+    from repro.harness.runner import SvmRuntime
+
+    factory = workload_factories(args.scale)[args.app]
+    config = evaluation_config("ft", threads_per_node=args.threads)
+    runtime = SvmRuntime(config, factory())
+    injector = FailureInjector(runtime.cluster)
+    injector.kill_on_hook(args.victim, Hooks.RELEASE_COMMITTED,
+                          occurrence=args.occurrence, delay=1.0)
+    timeline = []
+    for name in (Hooks.FAILURE_DETECTED, Hooks.RECOVERY_START,
+                 Hooks.THREAD_RESUMED, Hooks.RECOVERY_DONE):
+        runtime.cluster.hooks.on(
+            name, lambda nid, _n=name, **info: timeline.append(
+                (runtime.engine.now, _n, nid, info)))
+    result = runtime.run()
+    print(f"{args.app}: node {args.victim} fail-stopped at its "
+          f"{args.occurrence}th release; result verified.")
+    for t, event, node_id, info in timeline:
+        print(f"  {t:12.1f}us  {event:18s} node={node_id} "
+              + (f"tid={info['tid']}" if "tid" in info else "")
+              + (f"took={info['duration_us']:.1f}us"
+                 if "duration_us" in info else ""))
+    print(f"recoveries: {result.recoveries}; "
+          f"live nodes: {runtime.cluster.live_nodes()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant SVM cluster simulator (HPCA 2003 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and scales"
+                   ).set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one application")
+    p_run.add_argument("app", choices=APP_ORDER)
+    p_run.add_argument("--variant", choices=("base", "ft"), default="ft")
+    p_run.add_argument("--threads", type=int, default=1,
+                       help="compute threads per node")
+    p_run.add_argument("--scale", default="bench",
+                       choices=("test", "bench", "large"))
+    p_run.add_argument("--lock", choices=("polling", "queueing"),
+                       default="polling")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_suite = sub.add_parser("suite", help="base-vs-extended suite table")
+    p_suite.add_argument("--threads", type=int, default=1)
+    p_suite.add_argument("--scale", default="bench",
+                         choices=("test", "bench", "large"))
+    p_suite.set_defaults(fn=_cmd_suite)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("--output", default="results")
+    p_fig.add_argument("--scale", default="bench",
+                       choices=("test", "bench", "large"))
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_prof = sub.add_parser("profile",
+                            help="sharing + latency profile of one app")
+    p_prof.add_argument("app", choices=APP_ORDER)
+    p_prof.add_argument("--variant", choices=("base", "ft"),
+                        default="ft")
+    p_prof.add_argument("--threads", type=int, default=1)
+    p_prof.add_argument("--scale", default="bench",
+                        choices=("test", "bench", "large"))
+    p_prof.set_defaults(fn=_cmd_profile)
+
+    p_rec = sub.add_parser("recover", help="fault-injection demo")
+    p_rec.add_argument("--app", choices=APP_ORDER, default="WaterNsq")
+    p_rec.add_argument("--victim", type=int, default=3)
+    p_rec.add_argument("--occurrence", type=int, default=4,
+                       help="kill at the victim's Nth release")
+    p_rec.add_argument("--threads", type=int, default=1)
+    p_rec.add_argument("--scale", default="bench",
+                       choices=("test", "bench", "large"))
+    p_rec.set_defaults(fn=_cmd_recover)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

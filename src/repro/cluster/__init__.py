@@ -1,0 +1,19 @@
+"""Cluster hardware model: SMP nodes, fabric, failure injection.
+
+Public surface::
+
+    from repro.cluster import Cluster, Node, FailureInjector, Hooks
+"""
+
+from repro.cluster.failure import FailureInjector, InjectionRecord
+from repro.cluster.hooks import Hooks
+from repro.cluster.machine import Cluster
+from repro.cluster.node import Node
+
+__all__ = [
+    "Cluster",
+    "Node",
+    "FailureInjector",
+    "InjectionRecord",
+    "Hooks",
+]

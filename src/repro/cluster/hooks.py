@@ -1,0 +1,54 @@
+"""Lightweight pub/sub hook bus for tracing and failure injection.
+
+Protocol code fires named hooks at interesting points (release phases,
+checkpoints, recovery stages); tests and the failure injector subscribe
+to them. Firing a hook with no subscribers is free, so the protocol can
+be instrumented densely.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, List
+
+#: Subscriber signature: ``fn(node_id, **info)``.
+HookFn = Callable[..., None]
+
+
+class Hooks:
+    """Named synchronous hook points."""
+
+    # Hook names fired by the protocol layers. Centralizing them here
+    # keeps injector/test code typo-safe.
+    RELEASE_START = "release_start"
+    RELEASE_COMMITTED = "release_committed"        # updates committed (point A)
+    DIFF_PHASE1_START = "diff_phase1_start"
+    DIFF_PHASE1_DONE = "diff_phase1_done"          # timestamp saved (point B)
+    DIFF_PHASE2_START = "diff_phase2_start"
+    DIFF_PHASE2_DONE = "diff_phase2_done"
+    RELEASE_DONE = "release_done"
+    CHECKPOINT_A = "checkpoint_a"
+    CHECKPOINT_B = "checkpoint_b"
+    BARRIER_ENTER = "barrier_enter"
+    BARRIER_EXIT = "barrier_exit"
+    LOCK_ACQUIRED = "lock_acquired"
+    LOCK_RELEASED = "lock_released"
+    PAGE_FAULT = "page_fault"
+    FAILURE_DETECTED = "failure_detected"
+    RECOVERY_START = "recovery_start"
+    RECOVERY_DONE = "recovery_done"
+    THREAD_RESUMED = "thread_resumed"
+
+    def __init__(self) -> None:
+        self._subs: DefaultDict[str, List[HookFn]] = defaultdict(list)
+
+    def on(self, name: str, fn: HookFn) -> None:
+        self._subs[name].append(fn)
+
+    def off(self, name: str, fn: HookFn) -> None:
+        if fn in self._subs.get(name, []):
+            self._subs[name].remove(fn)
+
+    def fire(self, name: str, node_id: int, **info: Any) -> None:
+        for fn in list(self._subs.get(name, ())):
+            fn(node_id, **info)

@@ -1,0 +1,105 @@
+"""One SMP node: processors, memory bus, NIC, exported memory.
+
+The paper's platform is a 2-way Pentium-II SMP. We model the node as:
+
+* ``threads_per_node`` compute contexts (the scheduler is the DES
+  itself -- each compute thread is a simulated process);
+* one shared **memory bus** with finite bandwidth. Processor-side page
+  copies (twin creation, local fetches, checkpoint serialization) and
+  NIC DMA all occupy it, producing the compute-time dilation under
+  heavy replication traffic the paper reports;
+* one NIC attached to the cluster fabric, exporting this node's page
+  stores and protocol regions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config import ClusterConfig
+from repro.errors import SimulationError
+from repro.net import NIC, RegionTable, VMMC
+from repro.sim import Delay, Engine, Process, Resource
+
+
+class Node:
+    """A simulated SMP node."""
+
+    def __init__(self, engine: Engine, node_id: int,
+                 config: ClusterConfig) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.config = config
+        self.alive = True
+        self.rng = random.Random(config.seed * 1_000_003 + node_id)
+
+        self.regions = RegionTable(node_id)
+        self.bus = Resource(engine, capacity=1, name=f"node{node_id}.bus")
+        self.nic = NIC(engine, node_id, config.network, self.rng,
+                       regions=self.regions,
+                       dma_charge=self._dma_charge
+                       if config.memory.model_bus_contention else None)
+        self.vmmc = VMMC(engine, self.nic, config.costs)
+
+        #: Every simulated process running on this node (compute threads,
+        #: protocol daemons); killed wholesale at fail-stop.
+        self._processes: List[Process] = []
+
+    # -- process management --------------------------------------------------
+
+    def spawn(self, generator, name: str) -> Process:
+        """Start a process that dies with this node."""
+        if not self.alive:
+            raise SimulationError(
+                f"cannot spawn {name!r} on dead node {self.node_id}")
+        proc = self.engine.spawn(generator, f"n{self.node_id}.{name}")
+        self._processes.append(proc)
+        return proc
+
+    def adopt(self, proc: Process) -> None:
+        """Register an externally-created process for fail-stop killing."""
+        self._processes.append(proc)
+
+    # -- memory-system costs --------------------------------------------------
+
+    def _dma_charge(self, nbytes: int):
+        """Bus occupancy of one DMA transfer (generator, used by the NIC)."""
+        yield self.bus.acquire()
+        try:
+            yield Delay(nbytes / self.config.memory.bus_bandwidth_bytes_per_us)
+        finally:
+            self.bus.release()
+
+    def mem_copy(self, nbytes: int):
+        """Generator charging the time of a local memory copy.
+
+        Holds the bus (if contention modelling is on) for the transfer,
+        at the slower of copy bandwidth vs bus share.
+        """
+        duration = self.config.memory.copy_time_us(nbytes)
+        if self.config.memory.model_bus_contention:
+            yield self.bus.acquire()
+            try:
+                yield Delay(duration)
+            finally:
+                self.bus.release()
+        else:
+            yield Delay(duration)
+
+    # -- failure ----------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Fail-stop this node: all processes die, the NIC goes silent.
+
+        Local memory contents are *lost* to the rest of the system (the
+        stores remain as Python objects, but nothing can reach them
+        through the fabric -- matching "volatile memories").
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        for proc in self._processes:
+            proc.kill()
+        self._processes.clear()
+        self.nic.fail()

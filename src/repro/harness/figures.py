@@ -1,0 +1,119 @@
+"""Regeneration of the paper's evaluation figures.
+
+Each ``figure*`` function runs the necessary simulations and returns
+``(rows, text)``: the raw component data and a formatted table in the
+paper's layout. The benchmark modules under ``benchmarks/`` call these
+and persist the text next to the timing data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.harness.experiments import APP_ORDER, run_suite
+from repro.metrics import (
+    format_breakdown_table,
+    overhead_bars,
+    overhead_percent,
+    stacked_bars,
+)
+
+FOUR = ("compute", "data_wait", "lock", "barrier")
+SIX = ("compute", "data_wait", "synchronization", "diffs", "protocol",
+       "checkpointing")
+
+
+#: Simulations are deterministic; figure pairs (7,8) and (9,10) share
+#: their runs through this cache.
+_PAIR_CACHE: Dict[tuple, tuple] = {}
+
+
+def _suite_pair(threads_per_node: int, scale: str, apps: Iterable[str],
+                seed: int = 2003):
+    key = (threads_per_node, scale, tuple(apps), seed)
+    if key not in _PAIR_CACHE:
+        base = run_suite("base", threads_per_node, scale,
+                         apps=tuple(apps), seed=seed)
+        extended = run_suite("ft", threads_per_node, scale,
+                             apps=tuple(apps), seed=seed)
+        _PAIR_CACHE[key] = (base, extended)
+    return _PAIR_CACHE[key]
+
+
+def breakdown_rows(base, extended, fmt: str) -> Dict[str, Dict[str, float]]:
+    """Interleave base (0) / extended (1) rows, figure style."""
+    rows: Dict[str, Dict[str, float]] = {}
+    for app in base:
+        if fmt == "four":
+            rows[f"{app}/0"] = base[app].breakdown.four_component()
+            rows[f"{app}/1"] = extended[app].breakdown.four_component()
+        else:
+            rows[f"{app}/0"] = base[app].breakdown.six_component()
+            rows[f"{app}/1"] = extended[app].breakdown.six_component()
+    return rows
+
+
+def overhead_summary(base, extended) -> Dict[str, float]:
+    return {app: overhead_percent(base[app].elapsed_us,
+                                  extended[app].elapsed_us)
+            for app in base}
+
+
+def figure7(scale: str = "bench", apps=APP_ORDER,
+            pair=None) -> Tuple[Dict, str]:
+    """Execution time, 4 components, 8 nodes x 1 thread (paper Fig 7)."""
+    base, extended = pair or _suite_pair(1, scale, apps)
+    rows = breakdown_rows(base, extended, "four")
+    text = format_breakdown_table(
+        "Figure 7: execution time breakdown, 8 nodes x 1 thread "
+        "(0 = base GeNIMA, 1 = extended FT protocol)",
+        rows, FOUR)
+    text += "\n\n" + stacked_bars("Figure 7 (bars)", rows, FOUR)
+    summary = overhead_summary(base, extended)
+    text += "\n\n" + overhead_bars(
+        "Failure-free overhead of the extended protocol", summary)
+    text += "\n\nOverhead (extended vs base): " + ", ".join(
+        f"{app} {pct:+.0f}%" for app, pct in summary.items())
+    return {"rows": rows, "base": base, "extended": extended}, text
+
+
+def figure8(scale: str = "bench", apps=APP_ORDER,
+            pair=None) -> Tuple[Dict, str]:
+    """Overhead breakdown, 6 components, 8 nodes x 1 thread (Fig 8)."""
+    base, extended = pair or _suite_pair(1, scale, apps)
+    rows = breakdown_rows(base, extended, "six")
+    text = format_breakdown_table(
+        "Figure 8: overhead breakdown (6 components), 8 nodes x 1 thread",
+        rows, SIX)
+    text += "\n\n" + stacked_bars("Figure 8 (bars)", rows, SIX)
+    return {"rows": rows, "base": base, "extended": extended}, text
+
+
+def figure9(scale: str = "bench", apps=APP_ORDER,
+            pair=None) -> Tuple[Dict, str]:
+    """Execution time, 4 components, 8 nodes x 2 threads (Fig 9)."""
+    base, extended = pair or _suite_pair(2, scale, apps)
+    rows = breakdown_rows(base, extended, "four")
+    text = format_breakdown_table(
+        "Figure 9: execution time breakdown, 8 nodes x 2 threads/node",
+        rows, FOUR)
+    text += "\n\n" + stacked_bars("Figure 9 (bars)", rows, FOUR)
+    summary = overhead_summary(base, extended)
+    text += "\n\n" + overhead_bars(
+        "Failure-free overhead, 2 threads/node", summary)
+    text += "\n\nOverhead (extended vs base): " + ", ".join(
+        f"{app} {pct:+.0f}%" for app, pct in summary.items())
+    return {"rows": rows, "base": base, "extended": extended}, text
+
+
+def figure10(scale: str = "bench", apps=APP_ORDER,
+             pair=None) -> Tuple[Dict, str]:
+    """Overhead breakdown, 6 components, 8 nodes x 2 threads (Fig 10)."""
+    base, extended = pair or _suite_pair(2, scale, apps)
+    rows = breakdown_rows(base, extended, "six")
+    text = format_breakdown_table(
+        "Figure 10: overhead breakdown (6 components), "
+        "8 nodes x 2 threads/node",
+        rows, SIX)
+    text += "\n\n" + stacked_bars("Figure 10 (bars)", rows, SIX)
+    return {"rows": rows, "base": base, "extended": extended}, text

@@ -1,0 +1,93 @@
+"""Per-node software page table.
+
+In the real system, page protection hardware (mprotect) raises a fault
+on the first read of an invalid page or the first write to a read-only
+page, and the SVM protocol's segv handler takes over. Here every
+application access is routed through :class:`PageTable`, which raises
+:class:`~repro.errors.ProtectionFault` at exactly the same points; the
+protocol layer catches the fault and runs its handler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import MemoryError_, ProtectionFault
+
+
+class Access(enum.Enum):
+    """Protection state of a page at one node."""
+
+    INVALID = 0      # any access faults
+    READ_ONLY = 1    # writes fault (used to catch the first write: twin)
+    READ_WRITE = 2   # no faults
+
+
+@dataclass
+class PageTableEntry:
+    access: Access = Access.INVALID
+    #: Twin snapshot taken at the first write of the current interval;
+    #: None when the page is clean.
+    twin: Optional[bytes] = None
+    #: True while the page sits in the current interval's update list.
+    dirty: bool = False
+    #: FT protocol: page is locked during an outstanding release; page
+    #: faults on it must stall (paper Fig 4).
+    locked: bool = False
+    #: Count of faults taken on this page (diagnostics).
+    faults: int = 0
+
+
+class PageTable:
+    """Protection and per-page protocol state for one node."""
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise MemoryError_("page table needs >= 1 page")
+        self.num_pages = num_pages
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def entry(self, page_id: int) -> PageTableEntry:
+        if not 0 <= page_id < self.num_pages:
+            raise MemoryError_(f"page {page_id} out of range")
+        ent = self._entries.get(page_id)
+        if ent is None:
+            ent = PageTableEntry()
+            self._entries[page_id] = ent
+        return ent
+
+    # -- access checks (the "MMU") -----------------------------------------
+
+    def check_read(self, page_id: int) -> None:
+        ent = self.entry(page_id)
+        if ent.access is Access.INVALID:
+            ent.faults += 1
+            raise ProtectionFault(page_id, "read")
+
+    def check_write(self, page_id: int) -> None:
+        ent = self.entry(page_id)
+        if ent.access is not Access.READ_WRITE:
+            ent.faults += 1
+            raise ProtectionFault(page_id, "write")
+
+    # -- protection management ----------------------------------------------
+
+    def set_access(self, page_id: int, access: Access) -> None:
+        self.entry(page_id).access = access
+
+    def invalidate(self, page_id: int) -> None:
+        ent = self.entry(page_id)
+        ent.access = Access.INVALID
+
+    def dirty_pages(self) -> list[int]:
+        return sorted(pid for pid, ent in self._entries.items() if ent.dirty)
+
+    def clear_dirty(self, page_id: int) -> None:
+        ent = self.entry(page_id)
+        ent.dirty = False
+        ent.twin = None
+
+    def total_faults(self) -> int:
+        return sum(ent.faults for ent in self._entries.values())

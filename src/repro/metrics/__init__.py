@@ -1,0 +1,38 @@
+"""Time-breakdown accounting, counters, and report formatting.
+
+Public surface::
+
+    from repro.metrics import Category, ThreadClock, Breakdown,
+                               NodeCounters, RunCounters
+"""
+
+from repro.metrics.breakdown import Breakdown, Category, ThreadClock
+from repro.metrics.charts import overhead_bars, stacked_bars
+from repro.metrics.counters import NodeCounters, RunCounters
+from repro.metrics.latency import LatencyBook, LatencyStats
+from repro.metrics.sharing import PageProfile, SharingProfiler
+from repro.metrics.trace import ProtocolTrace, TraceEvent
+from repro.metrics.report import (
+    format_breakdown_table,
+    format_overhead_table,
+    overhead_percent,
+)
+
+__all__ = [
+    "Category",
+    "ThreadClock",
+    "Breakdown",
+    "NodeCounters",
+    "RunCounters",
+    "stacked_bars",
+    "overhead_bars",
+    "LatencyBook",
+    "LatencyStats",
+    "SharingProfiler",
+    "PageProfile",
+    "ProtocolTrace",
+    "TraceEvent",
+    "format_breakdown_table",
+    "format_overhead_table",
+    "overhead_percent",
+]

@@ -1,0 +1,70 @@
+"""Text-mode stacked bar charts.
+
+The paper's Figures 7-10 are stacked horizontal bars (one per
+application x protocol); this renders the regenerated data in the same
+visual shape for terminals and result files.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+#: Fill characters assigned to components in order.
+FILLS = "#=%+:.~o*"
+
+
+def stacked_bars(title: str,
+                 rows: Mapping[str, Mapping[str, float]],
+                 components: Sequence[str],
+                 width: int = 60) -> str:
+    """Render rows of stacked horizontal bars.
+
+    Each row label maps to component->value; bars share one scale
+    (the largest row total spans ``width`` characters). A legend maps
+    fill characters to component names.
+    """
+    if not rows:
+        return title + "\n(no data)"
+    if len(components) > len(FILLS):
+        raise ValueError(f"too many components (max {len(FILLS)})")
+    totals = {label: sum(comps.get(c, 0.0) for c in components)
+              for label, comps in rows.items()}
+    peak = max(totals.values()) or 1.0
+    label_w = max(len(label) for label in rows) + 2
+
+    lines = [title, "=" * len(title)]
+    legend = "  ".join(f"{FILLS[i]} {name}"
+                       for i, name in enumerate(components))
+    lines.append(legend)
+    lines.append("")
+    for label, comps in rows.items():
+        bar = []
+        # Largest-remainder rounding so the bar length matches the
+        # row's share of the scale.
+        scaled = [(comps.get(c, 0.0) / peak) * width for c in components]
+        cells = [int(v) for v in scaled]
+        remainder = int(round(sum(scaled))) - sum(cells)
+        fractional = sorted(range(len(components)),
+                            key=lambda i: scaled[i] - cells[i],
+                            reverse=True)
+        for i in fractional[:max(remainder, 0)]:
+            cells[i] += 1
+        for i, count in enumerate(cells):
+            bar.append(FILLS[i] * count)
+        lines.append(f"{label:<{label_w}}|{''.join(bar)}"
+                     f"  {totals[label]:.0f}")
+    return "\n".join(lines)
+
+
+def overhead_bars(title: str, overheads: Mapping[str, float],
+                  width: int = 50) -> str:
+    """Render one bar per app for percentage overheads."""
+    if not overheads:
+        return title + "\n(no data)"
+    peak = max(max(overheads.values()), 1.0)
+    label_w = max(len(label) for label in overheads) + 2
+    lines = [title, "=" * len(title)]
+    for label, pct in overheads.items():
+        filled = int(round(pct / peak * width))
+        lines.append(f"{label:<{label_w}}|{'#' * filled} {pct:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Per-operation latency statistics.
+
+Section 5.3 argues through *average* operation latencies: lock wait
+time ("more than a two-fold increase" for Water-Nsquared), data wait
+per page fault ("the average wait time per page increases", 3-15%
+overhead), and release cost. This module collects those samples at the
+protocol layer so benchmarks can report them directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+
+@dataclass
+class LatencyStats:
+    """Streaming summary of one operation's latency samples."""
+
+    count: int = 0
+    total_us: float = 0.0
+    min_us: float = math.inf
+    max_us: float = 0.0
+    #: Sum of squares for variance (Welford would be overkill here:
+    #: sample magnitudes are microseconds, runs are short).
+    sq_total: float = 0.0
+
+    def add(self, value_us: float) -> None:
+        self.count += 1
+        self.total_us += value_us
+        self.sq_total += value_us * value_us
+        if value_us < self.min_us:
+            self.min_us = value_us
+        if value_us > self.max_us:
+            self.max_us = value_us
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+    @property
+    def stdev_us(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean_us
+        var = max(self.sq_total / self.count - mean * mean, 0.0)
+        return math.sqrt(var)
+
+    def merge(self, other: "LatencyStats") -> None:
+        self.count += other.count
+        self.total_us += other.total_us
+        self.sq_total += other.sq_total
+        self.min_us = min(self.min_us, other.min_us)
+        self.max_us = max(self.max_us, other.max_us)
+
+
+#: Operation names tracked by the protocol agents.
+LOCK_WAIT = "lock_wait"
+PAGE_FAULT = "page_fault"
+RELEASE = "release"
+BARRIER_WAIT = "barrier_wait"
+
+ALL_OPS = (LOCK_WAIT, PAGE_FAULT, RELEASE, BARRIER_WAIT)
+
+
+class LatencyBook:
+    """Per-node collection of operation latency statistics."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, LatencyStats] = {
+            op: LatencyStats() for op in ALL_OPS}
+
+    def record(self, op: str, value_us: float) -> None:
+        self._stats[op].add(value_us)
+
+    def stats(self, op: str) -> LatencyStats:
+        return self._stats[op]
+
+    @classmethod
+    def merged(cls, books: Iterable["LatencyBook"]) -> "LatencyBook":
+        out = cls()
+        for book in books:
+            for op in ALL_OPS:
+                out._stats[op].merge(book._stats[op])
+        return out
+
+    def table(self) -> str:
+        lines = [f"{'operation':14s} {'count':>8s} {'mean_us':>10s} "
+                 f"{'max_us':>10s}"]
+        for op in ALL_OPS:
+            stats = self._stats[op]
+            if not stats.count:
+                continue
+            lines.append(f"{op:14s} {stats.count:8d} "
+                         f"{stats.mean_us:10.2f} {stats.max_us:10.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Plain-text report tables in the spirit of the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def format_breakdown_table(title: str,
+                           rows: Mapping[str, Mapping[str, float]],
+                           components: Sequence[str],
+                           unit: str = "us") -> str:
+    """Render one breakdown table.
+
+    ``rows`` maps a row label (e.g. "FFT/base") to a component->time
+    mapping; components missing from a row print as 0.
+    """
+    label_w = max([len(label) for label in rows] + [len("run")]) + 2
+    col_w = max([len(c) for c in components] + [12]) + 2
+    lines = [title, "=" * len(title)]
+    header = "run".ljust(label_w) + "".join(
+        c.rjust(col_w) for c in components) + "total".rjust(col_w)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, comps in rows.items():
+        total = sum(comps.get(c, 0.0) for c in components)
+        cells = "".join(
+            f"{comps.get(c, 0.0):>{col_w}.1f}" for c in components)
+        lines.append(label.ljust(label_w) + cells + f"{total:>{col_w}.1f}")
+    lines.append(f"(times in {unit})")
+    return "\n".join(lines)
+
+
+def format_overhead_table(title: str,
+                          base: Mapping[str, float],
+                          extended: Mapping[str, float]) -> str:
+    """Base-vs-extended totals with percentage overheads per row."""
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'app':<18}{'base':>14}{'extended':>14}{'overhead':>12}")
+    lines.append("-" * 58)
+    for app in base:
+        b = base[app]
+        e = extended.get(app, float('nan'))
+        pct = (e / b - 1.0) * 100.0 if b else float("nan")
+        lines.append(f"{app:<18}{b:>14.1f}{e:>14.1f}{pct:>11.1f}%")
+    return "\n".join(lines)
+
+
+def overhead_percent(base_total: float, extended_total: float) -> float:
+    """Extended-over-base overhead in percent."""
+    if base_total <= 0:
+        return float("nan")
+    return (extended_total / base_total - 1.0) * 100.0

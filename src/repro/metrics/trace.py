@@ -1,0 +1,134 @@
+"""Protocol event tracing.
+
+Subscribes to the cluster's hook bus and records a bounded, structured
+event log: releases, diff phases, checkpoints, barriers, lock traffic,
+failures and recovery stages. Useful for debugging protocol behaviour
+and for asserting event *orderings* in tests (e.g. "point B always
+precedes the lock handover of the same release").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from repro.cluster import Hooks
+
+#: Hooks captured by default (all protocol-level hook points).
+DEFAULT_EVENTS = (
+    Hooks.RELEASE_START,
+    Hooks.RELEASE_COMMITTED,
+    Hooks.DIFF_PHASE1_DONE,
+    Hooks.DIFF_PHASE2_START,
+    Hooks.DIFF_PHASE2_DONE,
+    Hooks.RELEASE_DONE,
+    Hooks.CHECKPOINT_A,
+    Hooks.CHECKPOINT_B,
+    Hooks.BARRIER_ENTER,
+    Hooks.BARRIER_EXIT,
+    Hooks.LOCK_ACQUIRED,
+    Hooks.LOCK_RELEASED,
+    Hooks.PAGE_FAULT,
+    Hooks.FAILURE_DETECTED,
+    Hooks.RECOVERY_START,
+    Hooks.RECOVERY_DONE,
+    Hooks.THREAD_RESUMED,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time_us: float
+    event: str
+    node: int
+    info: dict
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in sorted(self.info.items())
+                          if not isinstance(v, (list, dict)))
+        return f"{self.time_us:12.2f}  {self.event:20s} node={self.node} " \
+               f"{extras}"
+
+
+class ProtocolTrace:
+    """Bounded recorder of protocol hook events.
+
+    Attach before the run::
+
+        trace = ProtocolTrace(runtime.cluster, capacity=10_000)
+        runtime.run()
+        for ev in trace.select(Hooks.RECOVERY_DONE):
+            print(ev)
+    """
+
+    def __init__(self, cluster, events: Iterable[str] = DEFAULT_EVENTS,
+                 capacity: int = 100_000) -> None:
+        self.cluster = cluster
+        self.capacity = capacity
+        self.dropped = 0
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._subscribed: List[str] = list(events)
+        for name in self._subscribed:
+            cluster.hooks.on(name, self._make_recorder(name))
+
+    def _make_recorder(self, name: str):
+        def record(node_id: int, **info) -> None:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(TraceEvent(
+                self.cluster.engine.now, name, node_id, info))
+        return record
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def select(self, event: str, node: Optional[int] = None
+               ) -> List[TraceEvent]:
+        return [ev for ev in self._events
+                if ev.event == event
+                and (node is None or ev.node == node)]
+
+    def between(self, start_us: float, end_us: float) -> List[TraceEvent]:
+        return [ev for ev in self._events
+                if start_us <= ev.time_us <= end_us]
+
+    def first(self, event: str) -> Optional[TraceEvent]:
+        for ev in self._events:
+            if ev.event == event:
+                return ev
+        return None
+
+    def assert_ordering(self, earlier: str, later: str,
+                        node: Optional[int] = None) -> None:
+        """Raise AssertionError unless every ``later`` event on a node
+        is preceded by at least as many ``earlier`` events there.
+
+        Captures happened-before protocol invariants, e.g. every
+        DIFF_PHASE2_START must follow a DIFF_PHASE1_DONE of the same
+        node (point B before the committed-copy update)."""
+        counts: dict = {}
+        for ev in self._events:
+            if node is not None and ev.node != node:
+                continue
+            slot = counts.setdefault(ev.node, [0, 0])
+            if ev.event == earlier:
+                slot[0] += 1
+            elif ev.event == later:
+                slot[1] += 1
+                if slot[1] > slot[0]:
+                    raise AssertionError(
+                        f"node {ev.node}: {later!r} #{slot[1]} at "
+                        f"{ev.time_us:.1f}us has no preceding "
+                        f"{earlier!r}")
+
+    def dump(self, limit: int = 100) -> str:
+        lines = [str(ev) for ev in list(self._events)[-limit:]]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier events dropped")
+        return "\n".join(lines)

@@ -1,0 +1,23 @@
+"""Simulated Myrinet/VMMC communication layer.
+
+Public surface::
+
+    from repro.net import Network, NIC, VMMC, MemoryRegion, RegionTable
+"""
+
+from repro.net.message import HEADER_BYTES, Message, MessageKind
+from repro.net.network import Network
+from repro.net.nic import NIC
+from repro.net.regions import MemoryRegion, RegionTable
+from repro.net.vmmc import VMMC
+
+__all__ = [
+    "Network",
+    "NIC",
+    "VMMC",
+    "Message",
+    "MessageKind",
+    "HEADER_BYTES",
+    "MemoryRegion",
+    "RegionTable",
+]

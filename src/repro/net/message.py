@@ -1,0 +1,56 @@
+"""Network message representation.
+
+Messages are small typed envelopes. Data-carrying kinds (deposits,
+fetch replies) hold real bytes; control kinds carry structured payloads.
+Sizes on the wire are ``header + body`` so that bandwidth and NIC
+occupancy modelling sees realistic message sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Bytes of header/envelope per message on the wire.
+HEADER_BYTES = 32
+
+_message_ids = itertools.count(1)
+
+
+class MessageKind:
+    """Message kind tags understood by the NIC dispatch table."""
+
+    DEPOSIT = "deposit"          # remote write into an exported region
+    FETCH_REQ = "fetch_req"      # read an exported region
+    FETCH_REPLY = "fetch_reply"
+    PROBE = "probe"              # liveness probe (heart-beat)
+    PROBE_ACK = "probe_ack"
+    NOTIFY = "notify"            # protocol-level notification (mailbox)
+    SERVICE_REQ = "service_req"    # request/reply protocol service
+    SERVICE_REPLY = "service_reply"
+
+
+@dataclass
+class Message:
+    """One message on the simulated wire."""
+
+    kind: str
+    src: int
+    dst: int
+    body_bytes: int
+    payload: Any = None
+    #: Optional completion event: succeeds once the message's effect has
+    #: been applied at the destination, fails with RemoteNodeFailure if
+    #: the destination is (or becomes) dead. Asynchronous senders leave
+    #: it None and rely on FIFO ordering plus later synchronous ops.
+    completion: Optional[Any] = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.body_bytes
+
+    def __repr__(self) -> str:  # compact, for traces
+        return (f"<msg#{self.msg_id} {self.kind} {self.src}->{self.dst} "
+                f"{self.body_bytes}B>")

@@ -1,0 +1,244 @@
+"""Simulated network interface (Myrinet NIC running VMMC firmware).
+
+The NIC owns a bounded *post queue* of outgoing messages. Hosts post
+asynchronous sends into it; when it fills, the posting processor blocks
+until the NIC drains it -- this back-pressure at release points is one
+of the contention effects the paper measures. A sender process drains
+the queue (NIC occupancy + wire serialization), then hands the message
+to the :class:`~repro.net.network.Network` for latency and delivery.
+
+On the receive side, deposits and fetches are serviced entirely at the
+NIC -- writing into or reading from exported memory regions -- without
+involving the host processor, mirroring VMMC's remote deposit/fetch.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Generator, Optional
+
+from repro.config import NetworkParams
+from repro.errors import NetworkError, RemoteNodeFailure
+from repro.net.message import Message, MessageKind
+from repro.net.regions import RegionTable
+from repro.sim import Delay, Engine, Event, Store
+
+#: Type of an optional DMA-cost hook: ``dma_charge(nbytes)`` is a
+#: generator charging memory-bus occupancy for a transfer of nbytes.
+DmaCharge = Callable[[int], Generator]
+
+
+class NIC:
+    """One node's network interface."""
+
+    def __init__(self, engine: Engine, node_id: int, params: NetworkParams,
+                 rng: random.Random,
+                 regions: Optional[RegionTable] = None,
+                 dma_charge: Optional[DmaCharge] = None) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.params = params
+        self.rng = rng
+        self.regions = regions if regions is not None else RegionTable(node_id)
+        self.dma_charge = dma_charge
+        self.alive = True
+        self.network = None  # attached by Network.attach()
+
+        self.post_queue = Store(engine, capacity=params.post_queue_depth,
+                                name=f"nic{node_id}.post")
+        self._incoming = Store(engine, name=f"nic{node_id}.in")
+        self._pending_replies: Dict[int, Event] = {}
+        self._notify_handlers: Dict[str, Callable[[Message], None]] = {}
+        self._services: Dict[str, Callable] = {}
+        self._service_procs: list = []
+
+        # Counters for the metrics layer.
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.post_queue_stalls = 0
+
+        self._sender_proc = engine.spawn(self._sender(), f"nic{node_id}.send")
+        self._receiver_proc = engine.spawn(self._receiver(), f"nic{node_id}.recv")
+
+    # -- host-side API -----------------------------------------------------
+
+    def post(self, msg: Message):
+        """Post an asynchronous send (generator; host-side cost included).
+
+        Blocks (in simulated time) when the post queue is full, exactly
+        like the paper's description of the full NIC queue stalling the
+        sending processor.
+        """
+        if not self.alive:
+            raise NetworkError(f"node {self.node_id}: NIC is down")
+        yield Delay(self.params.post_overhead_us)
+        if self.post_queue.is_full:
+            self.post_queue_stalls += 1
+        yield self.post_queue.put(msg)
+
+    def register_notify_handler(self, channel: str,
+                                handler: Callable[[Message], None]) -> None:
+        """Register a callback for NOTIFY messages on ``channel``.
+
+        The handler runs at NIC level (after NIC occupancy is charged);
+        it must be non-blocking (typically it writes protocol state or
+        triggers an event a host process is waiting on).
+        """
+        if channel in self._notify_handlers:
+            raise NetworkError(f"node {self.node_id}: notify channel "
+                               f"{channel!r} already registered")
+        self._notify_handlers[channel] = handler
+
+    def register_service(self, name: str, handler: Callable) -> None:
+        """Register a request/reply service.
+
+        ``handler(payload, src_node)`` must be a *generator function*
+        returning ``(reply_payload, reply_body_bytes)``. Each request is
+        served by its own spawned process, so a handler may wait
+        (deferred replies -- e.g. a barrier manager holding arrivals).
+        Services model protocol operations offloaded to the NI, as
+        GeNIMA does for synchronization.
+        """
+        if name in self._services:
+            raise NetworkError(f"node {self.node_id}: service {name!r} "
+                               "already registered")
+        self._services[name] = handler
+
+    def expect_reply(self, req_id: int) -> Event:
+        """Create the event a synchronous requester waits on."""
+        ev = Event(self.engine, f"nic{self.node_id}.reply{req_id}")
+        self._pending_replies[req_id] = ev
+        return ev
+
+    def abandon_reply(self, req_id: int) -> None:
+        self._pending_replies.pop(req_id, None)
+
+    # -- failure injection ---------------------------------------------------
+
+    def fail(self) -> None:
+        """Fail-stop this NIC: nothing further is sent or received.
+
+        Messages already on the wire still arrive (they left this NIC);
+        messages still in the post queue are lost -- the paper's "no
+        guarantee of success for previous operations" case.
+        """
+        self.alive = False
+        self._sender_proc.kill()
+        self._receiver_proc.kill()
+        for proc in self._service_procs:
+            proc.kill()
+        self._service_procs.clear()
+        self.post_queue.drain()
+        self._incoming.drain()
+        self._pending_replies.clear()
+
+    # -- internal processes --------------------------------------------------
+
+    def _sender(self):
+        while True:
+            msg = yield self.post_queue.get()
+            yield Delay(self.params.nic_per_message_us)
+            if self.dma_charge is not None:
+                yield from self.dma_charge(msg.wire_bytes)
+            if (self.params.transient_error_rate > 0.0 and
+                    self.rng.random() < self.params.transient_error_rate):
+                # VMMC retransmits transparently; only latency is visible.
+                yield Delay(self.params.retransmit_penalty_us)
+            yield Delay(self.params.transfer_time_us(msg.wire_bytes))
+            self.messages_sent += 1
+            self.bytes_sent += msg.wire_bytes
+            self.network.transmit(msg)
+
+    def _deliver(self, msg: Message) -> None:
+        """Called by the network when a message arrives at this NIC."""
+        if not self.alive:
+            if msg.completion is not None and not msg.completion.settled:
+                msg.completion.fail(RemoteNodeFailure(self.node_id))
+            return
+        self._incoming.try_put(msg)
+
+    def _receiver(self):
+        while True:
+            msg = yield self._incoming.get()
+            yield Delay(self.params.nic_per_message_us)
+            if self.dma_charge is not None:
+                yield from self.dma_charge(msg.wire_bytes)
+            self.messages_received += 1
+            self.bytes_received += msg.wire_bytes
+            yield from self._dispatch(msg)
+
+    def _dispatch(self, msg: Message):
+        kind = msg.kind
+        if kind == MessageKind.DEPOSIT:
+            region_name, offset, data = msg.payload
+            region = self.regions.lookup(region_name)
+            region.write(offset, data)
+            if region.on_remote_write is not None:
+                region.on_remote_write(offset, len(data), msg.src)
+            if msg.completion is not None and not msg.completion.settled:
+                msg.completion.succeed(None)
+        elif kind == MessageKind.FETCH_REQ:
+            region_name, offset, size, req_id = msg.payload
+            data = self.regions.lookup(region_name).read(offset, size)
+            reply = Message(MessageKind.FETCH_REPLY, self.node_id, msg.src,
+                            body_bytes=len(data), payload=(req_id, data))
+            yield self.post_queue.put(reply)
+        elif kind == MessageKind.FETCH_REPLY:
+            req_id, data = msg.payload
+            ev = self._pending_replies.pop(req_id, None)
+            if ev is not None and not ev.settled:
+                ev.succeed(data)
+        elif kind == MessageKind.PROBE:
+            req_id = msg.payload
+            ack = Message(MessageKind.PROBE_ACK, self.node_id, msg.src,
+                          body_bytes=0, payload=req_id)
+            yield self.post_queue.put(ack)
+        elif kind == MessageKind.PROBE_ACK:
+            req_id = msg.payload
+            ev = self._pending_replies.pop(req_id, None)
+            if ev is not None and not ev.settled:
+                ev.succeed(True)
+        elif kind == MessageKind.SERVICE_REQ:
+            service, req_id, body = msg.payload
+            handler = self._services.get(service)
+            if handler is None:
+                raise NetworkError(
+                    f"node {self.node_id}: unknown service {service!r}")
+            proc = self.engine.spawn(
+                self._serve(handler, msg.src, req_id, body),
+                f"nic{self.node_id}.svc.{service}")
+            self._service_procs.append(proc)
+            self._service_procs = [p for p in self._service_procs if p.alive]
+        elif kind == MessageKind.SERVICE_REPLY:
+            req_id, body = msg.payload
+            ev = self._pending_replies.pop(req_id, None)
+            if ev is not None and not ev.settled:
+                ev.succeed(body)
+        elif kind == MessageKind.NOTIFY:
+            channel, body = msg.payload
+            handler = self._notify_handlers.get(channel)
+            if handler is None:
+                raise NetworkError(
+                    f"node {self.node_id}: NOTIFY on unknown channel "
+                    f"{channel!r}")
+            result = handler(msg)
+            if result is not None and hasattr(result, "send"):
+                # Generator handler: run it inline at the NIC so its
+                # costs serialize with message processing (FIFO apply
+                # order is what HLRC diff application requires).
+                yield from result
+            if msg.completion is not None and not msg.completion.settled:
+                msg.completion.succeed(None)
+        else:
+            raise NetworkError(f"unknown message kind {kind!r}")
+
+    def _serve(self, handler, src: int, req_id: int, body):
+        reply_payload, reply_bytes = yield from handler(body, src)
+        if not self.alive:
+            return
+        reply = Message(MessageKind.SERVICE_REPLY, self.node_id, src,
+                        body_bytes=reply_bytes,
+                        payload=(req_id, reply_payload))
+        yield self.post_queue.put(reply)

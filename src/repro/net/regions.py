@@ -1,0 +1,86 @@
+"""Exported memory regions for virtual-memory-mapped communication.
+
+VMMC's defining feature (paper section 3.1) is that a sender can deposit
+data *directly into a virtual address range of the destination host*
+without interrupting the remote processor, and symmetrically fetch from
+one. We model an exported address range as a named :class:`MemoryRegion`
+registered with the node's NIC; deposits and fetches name a region and
+an offset.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import MemoryError_
+
+
+class MemoryRegion:
+    """A contiguous exported byte range backed by a real buffer."""
+
+    def __init__(self, name: str, size: int) -> None:
+        if size <= 0:
+            raise MemoryError_(f"region {name!r} must have positive size")
+        self.name = name
+        self.size = size
+        self._buf = bytearray(size)
+        #: Optional hook invoked after every remote write:
+        #: ``on_remote_write(offset, length, src_node)``. Lock algorithms
+        #: and barrier managers use this to observe deposits without
+        #: polling overhead in the *simulator* (the simulated cost of
+        #: polling is still charged by the protocol).
+        self.on_remote_write: Optional[Callable[[int, int, int], None]] = None
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise MemoryError_(
+                f"region {self.name!r}: access [{offset}, {offset + length}) "
+                f"outside size {self.size}")
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return bytes(self._buf[offset:offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._check(offset, len(data))
+        self._buf[offset:offset + len(data)] = data
+
+    def view(self) -> bytearray:
+        """Direct mutable access for the *local* host (no wire involved)."""
+        return self._buf
+
+
+class RegionTable:
+    """The set of regions a node exports to the network."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self._regions: Dict[str, MemoryRegion] = {}
+
+    def export(self, name: str, size: int) -> MemoryRegion:
+        if name in self._regions:
+            raise MemoryError_(f"node {self.node_id}: region {name!r} "
+                               "already exported")
+        region = MemoryRegion(name, size)
+        self._regions[name] = region
+        return region
+
+    def export_region(self, region: MemoryRegion) -> MemoryRegion:
+        if region.name in self._regions:
+            raise MemoryError_(f"node {self.node_id}: region "
+                               f"{region.name!r} already exported")
+        self._regions[region.name] = region
+        return region
+
+    def lookup(self, name: str) -> MemoryRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryError_(
+                f"node {self.node_id}: no exported region {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def names(self) -> list[str]:
+        return sorted(self._regions)

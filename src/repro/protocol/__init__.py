@@ -1,0 +1,29 @@
+"""SVM protocols: base GeNIMA (HLRC) and fault-tolerant extensions.
+
+Public surface::
+
+    from repro.protocol import (
+        SvmNodeAgent, SvmThread, HomeMap, VectorTimestamp,
+        BarrierManager, RecoverySignal,
+    )
+"""
+
+from repro.protocol.agent import SvmNodeAgent
+from repro.protocol.api import SvmThread
+from repro.protocol.barrier import BarrierManager
+from repro.protocol.homes import HomeMap
+from repro.protocol.locks import PollingLocks, QueueingLocks, make_lock_manager
+from repro.protocol.signals import RecoverySignal
+from repro.protocol.timestamps import VectorTimestamp
+
+__all__ = [
+    "SvmNodeAgent",
+    "SvmThread",
+    "BarrierManager",
+    "HomeMap",
+    "VectorTimestamp",
+    "PollingLocks",
+    "QueueingLocks",
+    "make_lock_manager",
+    "RecoverySignal",
+]

@@ -1,0 +1,755 @@
+"""Base SVM protocol agent: GeNIMA, home-based lazy release consistency.
+
+One :class:`SvmNodeAgent` runs per node and implements paper section
+3.2: intervals delimited by releases, a common per-SMP update list,
+twins and diffs, eager diff propagation to home nodes at releases,
+timestamp-driven invalidations at acquires, and whole-page fetches from
+home on post-invalidation faults.
+
+The agent works on real bytes: application reads/writes go through a
+software page table into a working page store; diffs are computed from
+real twins and applied at real home copies across the simulated wire.
+
+Correctness under asynchrony is enforced with per-page *version
+vectors*: every write notice records which writer interval invalidated
+the page, and a fetch (or a home's own post-acquire access) is held
+until the home copy has absorbed diffs up to the required versions --
+the standard HLRC mechanism that makes eager asynchronous diff
+propagation safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Cluster, Hooks
+from repro.errors import ProtectionFault, ProtocolError
+from repro.memory import (
+    Access,
+    Diff,
+    PageStore,
+    PageTable,
+    apply_diff,
+    compute_diff,
+)
+from repro.metrics import Category, NodeCounters
+from repro.metrics.latency import PAGE_FAULT, LatencyBook
+from repro.protocol.barrier import ABORTED, BARRIER_SERVICE, STALE_DONE
+from repro.protocol.homes import HomeMap
+from repro.protocol.signals import RecoverySignal
+from repro.protocol.locks import (
+    LOCKTS_REGION,
+    LOCKVEC_REGION,
+    make_lock_manager,
+)
+from repro.protocol.timestamps import VectorTimestamp
+from repro.sim import Delay, Event, Mutex
+
+#: Notify channel carrying encoded diffs to home nodes.
+DIFF_CHANNEL = "svm_diff"
+#: Service returning write-notice lists for an interval range.
+GET_INTERVALS_SERVICE = "svm_get_intervals"
+#: Service returning a page's current home copy (version-gated).
+FETCH_PAGE_SERVICE = "svm_fetch_page"
+
+#: Wire size of one write notice (page id + interval tag).
+WRITE_NOTICE_BYTES = 8
+
+
+class SvmNodeAgent:
+    """GeNIMA protocol state and operations for one node."""
+
+    #: Protocol variant name (the FT subclass overrides).
+    variant = "base"
+
+    def __init__(self, cluster: Cluster, node_id: int, homes: HomeMap,
+                 runtime) -> None:
+        self.cluster = cluster
+        self.node = cluster.node(node_id)
+        self.node_id = node_id
+        self.engine = cluster.engine
+        self.config = cluster.config
+        self.costs = cluster.config.costs
+        self.homes = homes
+        self.runtime = runtime
+        self.vmmc = self.node.vmmc
+        self.rng = self.node.rng
+        self.hooks = cluster.hooks
+        self.address_space = cluster.address_space
+        self.counters = NodeCounters()
+        #: Per-operation latency samples (section 5.3's averages).
+        self.latency = LatencyBook()
+
+        num_pages = self.config.shared_pages
+        page_size = self.config.memory.page_size
+        self.page_size = page_size
+        self.working = PageStore("working", num_pages, page_size)
+        self.node.regions.export_region(self.working)
+        self.page_table = PageTable(num_pages)
+
+        # Lock regions (this node may be home for any lock).
+        n = self.config.num_nodes
+        self.node.regions.export(
+            LOCKVEC_REGION, self.config.num_locks * n)
+        self.node.regions.export(
+            LOCKTS_REGION, self.config.num_locks * 4 * n)
+
+        # LRC state -------------------------------------------------------
+        self.ts = VectorTimestamp(n)
+        #: Own interval counter (== self.ts[self.node_id]).
+        self.interval_no = 0
+        #: node -> interval -> list of updated pages (write notices).
+        #: Normally only our own entries; recovery merges a dead node's.
+        self.interval_log: Dict[int, Dict[int, List[int]]] = {node_id: {}}
+        #: Pages updated in the currently open interval, in write order.
+        self.update_list: "OrderedDict[int, None]" = OrderedDict()
+        #: Interval number as of the last barrier we passed (what remote
+        #: nodes are guaranteed to have seen of us via that barrier).
+        self.last_barrier_interval = 0
+
+        # Version gating ----------------------------------------------------
+        #: Home side: page -> writer node -> highest interval applied.
+        self.page_versions: Dict[int, Dict[int, int]] = {}
+        #: Consumer side: page -> writer node -> interval required
+        #: before the page may be used again.
+        self.required_versions: Dict[int, Dict[int, int]] = {}
+        self._version_events: Dict[int, Event] = {}
+
+        #: Local diffs of dirty pages that had to be invalidated before
+        #: their release (false sharing across an acquire).
+        self._pending_local_diffs: Dict[int, Diff] = {}
+        self._fault_mutexes: Dict[int, Mutex] = {}
+        #: FT page locking (unused in base, checked in shared paths).
+        self._page_unlock_events: Dict[int, Event] = {}
+
+        # Intra-node barrier bookkeeping: (bar_id, epoch) -> state dict,
+        # plus completed-generation counts per barrier id.
+        self._local_barriers: Dict[object, Dict[str, object]] = {}
+        self.barrier_done: Dict[int, int] = {}
+
+        # Services / notify handlers ---------------------------------------
+        self._services: Dict[str, object] = {}
+        self._notify_handlers: Dict[str, object] = {}
+        self.register_service(GET_INTERVALS_SERVICE,
+                              self._serve_get_intervals)
+        self.register_service(FETCH_PAGE_SERVICE, self._serve_fetch_page)
+        self.register_notify(DIFF_CHANNEL, self._on_diff)
+
+        self.locks = make_lock_manager(
+            self, self.config.protocol.lock_algorithm,
+            fault_tolerant=self.config.protocol.is_ft
+            and self.config.protocol.replicate_locks)
+
+    # ------------------------------------------------------------------
+    # Communication helpers with same-node fast paths
+    # ------------------------------------------------------------------
+
+    def deposit(self, dst: int, region: str, offset: int, data: bytes,
+                wait: bool = False):
+        if dst == self.node_id:
+            yield from self.node.mem_copy(len(data))
+            self.node.regions.lookup(region).write(offset, data)
+            return None
+        return (yield from self.vmmc.remote_deposit(
+            dst, region, offset, data, wait=wait))
+
+    def fetch(self, dst: int, region: str, offset: int, size: int):
+        if dst == self.node_id:
+            yield from self.node.mem_copy(size)
+            return self.node.regions.lookup(region).read(offset, size)
+        return (yield from self.vmmc.remote_fetch(dst, region, offset, size))
+
+    def call_service(self, dst: int, name: str, body,
+                     request_bytes: Optional[int] = None):
+        if dst == self.node_id:
+            handler = self._services[name]
+            payload, _size = yield from handler(body, self.node_id)
+            return payload
+        return (yield from self.vmmc.call(dst, name, body, request_bytes))
+
+    def notify(self, dst: int, channel: str, body,
+               body_bytes: Optional[int] = None, wait: bool = False):
+        if dst == self.node_id:
+            handler = self._notify_handlers[channel]
+            result = handler(_LocalMessage(self.node_id, channel, body))
+            if result is not None and hasattr(result, "send"):
+                yield from result
+            return None
+        return (yield from self.vmmc.notify(
+            dst, channel, body, body_bytes=body_bytes, wait=wait))
+
+    def register_service(self, name: str, handler) -> None:
+        self._services[name] = handler
+        self.node.nic.register_service(name, handler)
+
+    def register_notify(self, channel: str, handler) -> None:
+        self._notify_handlers[channel] = handler
+        self.node.nic.register_notify_handler(channel, handler)
+
+    def check_recovery_abort(self) -> None:
+        """FT hook: raise when a recovery is pending (base: never)."""
+
+    def blocked_wait(self, event: Event):
+        """Wait on a local handoff event. The FT subclass registers the
+        wait with the recovery rendezvous (a thread blocked on another
+        local thread counts as quiescent); the base protocol has no
+        recovery, so this is a plain wait."""
+        result = yield event
+        return result
+
+    # ------------------------------------------------------------------
+    # Application-facing memory access
+    # ------------------------------------------------------------------
+
+    def read(self, thread, addr: int, size: int):
+        """Generator returning ``size`` bytes at shared address ``addr``."""
+        out = bytearray()
+        remaining = size
+        pos = addr
+        while remaining > 0:
+            page, offset = self.address_space.locate(pos)
+            chunk = min(remaining, self.page_size - offset)
+            yield from self._ensure_readable(thread, page)
+            out += self.working.read_span(page, offset, chunk)
+            pos += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, thread, addr: int, data: bytes):
+        """Generator writing ``data`` at shared address ``addr``."""
+        pos = addr
+        view = memoryview(data)
+        while len(view) > 0:
+            page, offset = self.address_space.locate(pos)
+            chunk = min(len(view), self.page_size - offset)
+            yield from self._ensure_writable(thread, page)
+            # No yields between the final protection check (inside
+            # _ensure_writable) and the store: the write is atomic with
+            # respect to concurrent releases downgrading the page.
+            self.working.write_span(page, offset, bytes(view[:chunk]))
+            pos += chunk
+            view = view[chunk:]
+        return None
+
+    def _ensure_readable(self, thread, page: int):
+        while True:
+            try:
+                self.page_table.check_read(page)
+                return
+            except ProtectionFault:
+                yield from self._handle_fault(thread, page, write=False)
+
+    def _ensure_writable(self, thread, page: int):
+        while True:
+            try:
+                self.page_table.check_write(page)
+                return
+            except ProtectionFault:
+                yield from self._handle_fault(thread, page, write=True)
+
+    # ------------------------------------------------------------------
+    # Page-fault handling
+    # ------------------------------------------------------------------
+
+    def _fault_mutex(self, page: int) -> Mutex:
+        mtx = self._fault_mutexes.get(page)
+        if mtx is None:
+            mtx = Mutex(self.engine, f"fault{page}")
+            self._fault_mutexes[page] = mtx
+        return mtx
+
+    def _handle_fault(self, thread, page: int, write: bool):
+        thread.clock.push(Category.DATA_WAIT)
+        fault_start = self.engine.now
+        mtx = self._fault_mutex(page)
+        try:
+            yield from self.blocked_wait(mtx.acquire())
+            try:
+                # A recovery may have started while we queued behind
+                # another faulting thread; park before touching state.
+                self.check_recovery_abort()
+                entry = self.page_table.entry(page)
+                # Re-check: another local thread may have resolved it.
+                if write and entry.access is Access.READ_WRITE:
+                    return
+                if not write and entry.access is not Access.INVALID:
+                    return
+                self.counters.page_faults += 1
+                if write:
+                    self.counters.write_faults += 1
+                else:
+                    self.counters.read_faults += 1
+                self.hooks.fire(Hooks.PAGE_FAULT, self.node_id, page=page,
+                                write=write)
+                yield Delay(self.costs.page_fault_handler_us)
+                # FT: faults on pages locked by an outstanding release
+                # stall until the release completes (paper Fig 4).
+                yield from self._wait_page_unlocked(page)
+                if entry.access is Access.INVALID:
+                    yield from self._load_page(thread, page)
+                if write:
+                    yield from self._make_writable(thread, page)
+            finally:
+                mtx.release()
+        finally:
+            self.latency.record(PAGE_FAULT, self.engine.now - fault_start)
+            thread.clock.pop(Category.DATA_WAIT)
+
+    def _wait_page_unlocked(self, page: int):
+        while self.page_table.entry(page).locked:
+            self.counters.page_lock_stalls += 1
+            ev = self._page_unlock_events.get(page)
+            if ev is None or ev.settled:
+                ev = Event(self.engine, f"unlock{page}")
+                self._page_unlock_events[page] = ev
+            yield from self.blocked_wait(ev)
+
+    def _unlock_pages(self, pages) -> None:
+        for page in pages:
+            entry = self.page_table.entry(page)
+            entry.locked = False
+            ev = self._page_unlock_events.pop(page, None)
+            if ev is not None and not ev.settled:
+                ev.succeed(None)
+
+    def _load_page(self, thread, page: int):
+        """Bring an INVALID page up to date (base protocol)."""
+        home = self.homes.primary_home(page)
+        if home == self.node_id:
+            # The working copy *is* the home copy; it only needs to wait
+            # for any required remote diffs to be applied.
+            yield from self._wait_local_versions(page)
+            entry = self.page_table.entry(page)
+            if entry.dirty:
+                entry.access = Access.READ_WRITE
+            else:
+                entry.access = Access.READ_ONLY
+            self.counters.local_page_fetches += 1
+            return
+        required = dict(self.required_versions.get(page, {}))
+        self.counters.remote_page_fetches += 1
+        data = yield from self.call_service(
+            home, FETCH_PAGE_SERVICE, (page, required))
+        yield from self.node.mem_copy(self.page_size)
+        self._install_fetched(page, data)
+
+    def _install_fetched(self, page: int, data: bytes) -> None:
+        entry = self.page_table.entry(page)
+        pending = self._pending_local_diffs.pop(page, None)
+        if pending is not None:
+            # The page was dirty when invalidated: rebase our
+            # un-released writes onto the fresh home copy. The page
+            # must re-enter the current update list -- its previous
+            # membership was consumed by an earlier commit.
+            buf = bytearray(data)
+            apply_diff(buf, pending)
+            self.working.write_page(page, bytes(buf))
+            entry.twin = bytes(data)
+            entry.dirty = True
+            self.update_list[page] = None
+            entry.access = Access.READ_WRITE
+        else:
+            self.working.write_page(page, data)
+            entry.access = Access.READ_ONLY
+
+    def _make_writable(self, thread, page: int):
+        """READ_ONLY -> READ_WRITE: create a twin, join the update list."""
+        entry = self.page_table.entry(page)
+        if entry.access is Access.READ_WRITE:
+            if entry.dirty:
+                # Another path (pending-diff rebase) may have made the
+                # page writable; dirtiness must imply list membership.
+                self.update_list[page] = None
+            return
+        if self._twin_needed(page):
+            if entry.twin is None:
+                yield from self.node.mem_copy(self.page_size)
+                entry.twin = self.working.read_page(page)
+                self.counters.twins_created += 1
+        entry.dirty = True
+        self.update_list[page] = None
+        entry.access = Access.READ_WRITE
+
+    def _twin_needed(self, page: int) -> bool:
+        """Base protocol: home nodes keep no twins for their own pages
+        (their working copy is canonical and they never diff them)."""
+        return self.homes.primary_home(page) != self.node_id
+
+    # ------------------------------------------------------------------
+    # Version gating
+    # ------------------------------------------------------------------
+
+    def _version_satisfied(self, page: int,
+                           required: Dict[int, int]) -> bool:
+        have = self.page_versions.get(page, {})
+        return all(have.get(node, 0) >= interval
+                   for node, interval in required.items())
+
+    def _version_event(self, page: int) -> Event:
+        ev = self._version_events.get(page)
+        if ev is None or ev.settled:
+            ev = Event(self.engine, f"ver{page}")
+            self._version_events[page] = ev
+        return ev
+
+    def _bump_version(self, page: int, writer: int, interval: int) -> None:
+        versions = self.page_versions.setdefault(page, {})
+        if versions.get(writer, 0) < interval:
+            versions[writer] = interval
+        ev = self._version_events.pop(page, None)
+        if ev is not None and not ev.settled:
+            ev.succeed(None)
+
+    def _wait_versions(self, page: int, required: Dict[int, int]):
+        from repro.sim import timeout_wait
+        manager = getattr(self.runtime, "recovery_manager", None)
+        while not self._version_satisfied(page, required):
+            # Version waits are aborted (events failed) when a recovery
+            # begins, since the awaited diff may have died with the
+            # failed node; check before re-arming.
+            self.check_recovery_abort()
+            ev = self._version_event(page)
+            if manager is None:
+                yield ev
+                continue
+            # FT: a writer that dies mid-propagation would leave this
+            # wait hanging; probe unsatisfied writers on timeout.
+            ok, _value = yield from timeout_wait(
+                self.engine, ev, self.costs.heartbeat_timeout_us)
+            if ok:
+                continue
+            have = self.page_versions.get(page, {})
+            for writer, interval in required.items():
+                if have.get(writer, 0) >= interval or \
+                        writer == self.node_id:
+                    continue
+                alive = yield from self.vmmc.probe(writer)
+                if not alive:
+                    manager.report_failure(writer)
+
+    def _wait_local_versions(self, page: int):
+        required = self.required_versions.get(page, {})
+        yield from self._wait_versions(page, dict(required))
+
+    # ------------------------------------------------------------------
+    # Services
+    # ------------------------------------------------------------------
+
+    def _serve_fetch_page(self, body, src: int):
+        page, required = body
+        yield from self._wait_versions(page, required)
+        data = self._fetch_store(page).read_page(page)
+        return data, self.page_size
+
+    def _fetch_store(self, page: int) -> PageStore:
+        """Which store acquirers' fetches are served from (base: the
+        working copy; the FT subclass serves the committed copy)."""
+        return self.working
+
+    def _serve_get_intervals(self, body, src: int):
+        target, first, last = body
+        log = self.interval_log.get(target, {})
+        entries = [(i, log[i]) for i in range(first, last + 1) if i in log]
+        size = sum(WRITE_NOTICE_BYTES * (1 + len(pages))
+                   for _i, pages in entries) or 8
+        yield Delay(self.costs.write_notice_per_entry_us * len(entries))
+        return entries, size
+
+    def _on_diff(self, msg):
+        """Apply an incoming diff at this (home) node. Generator run at
+        NIC level so diffs from one writer apply in FIFO order."""
+        writer, interval, blob = msg.payload[1]
+        diff = Diff.decode(blob)
+        yield Delay(self.costs.diff_apply_us(max(diff.changed_bytes, 1)))
+        self._apply_home_diff(diff, writer)
+        self._bump_version(diff.page_id, writer, interval)
+
+    def _apply_home_diff(self, diff: Diff, writer: int) -> None:
+        """Where incoming diffs land (base: the working copy)."""
+        buf = self.working.page_view(diff.page_id)
+        for offset, data in diff.runs:
+            buf[offset:offset + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Interval commitment and diff propagation
+    # ------------------------------------------------------------------
+
+    def _commit_interval(self, thread):
+        """End the current interval; returns the committed page list."""
+        if not self.update_list:
+            return []
+        self.interval_no += 1
+        self.ts[self.node_id] = self.interval_no
+        pages = list(self.update_list)
+        self.update_list.clear()
+        self.interval_log[self.node_id][self.interval_no] = pages
+        yield Delay(self.costs.commit_per_page_us * len(pages))
+        for page in pages:
+            if self.homes.primary_home(page) == self.node_id:
+                # Our working copy is the home copy: the committed
+                # interval is immediately fetchable.
+                self._bump_version(page, self.node_id, self.interval_no)
+        self.hooks.fire(Hooks.RELEASE_COMMITTED, self.node_id,
+                        interval=self.interval_no, pages=pages)
+        return pages
+
+    def _propagate_updates(self, thread, pages: List[int], interval: int):
+        """Send diffs of the committed pages to their homes (base: one
+        home, no diffs for our own home pages)."""
+        for page in pages:
+            entry = self.page_table.entry(page)
+            home = self.homes.primary_home(page)
+            if home == self.node_id:
+                self._finish_page_release(page)
+                continue
+            yield from thread.clock.in_category(
+                Category.DIFF, self._diff_and_send(page, entry, home,
+                                                   interval))
+            self._finish_page_release(page)
+        return None
+
+    def _diff_and_send(self, page: int, entry, home: int, interval: int):
+        yield Delay(self.costs.diff_compute_us(self.page_size))
+        twin = entry.twin if entry.twin is not None else bytes(self.page_size)
+        diff = compute_diff(page, twin, self.working.read_page(page))
+        self.counters.pages_diffed += 1
+        if home == self.node_id or (
+                self.config.protocol.is_ft
+                and self.homes.secondary_home(page) == self.node_id):
+            self.counters.home_pages_diffed += 1
+        if diff.is_empty:
+            # Still announce the interval so version gating can advance.
+            diff = Diff(page, ())
+        blob = diff.encode()
+        self.counters.diff_messages += 1
+        self.counters.diff_bytes_sent += diff.wire_bytes
+        yield from self.notify(home, DIFF_CHANNEL,
+                               (self.node_id, interval, blob),
+                               body_bytes=diff.wire_bytes)
+        return diff
+
+    def _finish_page_release(self, page: int) -> None:
+        entry = self.page_table.entry(page)
+        entry.dirty = False
+        entry.twin = None
+        if entry.access is Access.READ_WRITE:
+            entry.access = Access.READ_ONLY
+
+    # ------------------------------------------------------------------
+    # Acquire / release / barrier operations (called by the thread API)
+    # ------------------------------------------------------------------
+
+    def acquire_op(self, thread, lock_id: int):
+        yield Delay(self.costs.acquire_base_us)
+        grant_ts = yield from self.locks.acquire(lock_id)
+        self.counters.acquires += 1
+        yield from thread.clock.in_category(
+            Category.PROTOCOL, self._apply_incoming_ts(grant_ts))
+        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id)
+        return None
+
+    def release_op(self, thread, lock_id: int):
+        self.counters.releases += 1
+        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id)
+        yield Delay(self.costs.release_base_us)
+        pages = yield from thread.clock.in_category(
+            Category.PROTOCOL, self._commit_interval(thread))
+        interval = self.interval_no
+        # Base protocol: hand the lock over before propagating diffs
+        # (version gating keeps fetches correct).
+        yield from self.locks.release(lock_id, self.ts.copy())
+        self.hooks.fire(Hooks.LOCK_RELEASED, self.node_id, lock=lock_id)
+        yield from self._propagate_updates(thread, pages, interval)
+        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id)
+        return None
+
+    def _apply_incoming_ts(self, grant_ts: Optional[VectorTimestamp]):
+        """Fetch and apply the write notices implied by a grant."""
+        if grant_ts is None:
+            return None
+        missing = self.ts.missing_intervals(grant_ts)
+        for node, first, last in missing:
+            if node == self.node_id:
+                continue
+            source = self.runtime.interval_source(node)
+            entries = yield from self.call_service(
+                source, GET_INTERVALS_SERVICE, (node, first, last))
+            yield from self._apply_write_notices(node, entries)
+        self.ts.merge(grant_ts)
+        return None
+
+    def _apply_write_notices(self, writer: int,
+                             entries: List[Tuple[int, List[int]]]):
+        for interval, pages in entries:
+            if interval <= self.ts[writer]:
+                continue  # already applied
+            for page in pages:
+                self.counters.write_notices += 1
+                yield Delay(self.costs.invalidate_per_page_us)
+                self._invalidate_page(page, writer, interval)
+        return None
+
+    def _invalidate_page(self, page: int, writer: int,
+                         interval: int) -> None:
+        required = self.required_versions.setdefault(page, {})
+        if required.get(writer, 0) < interval:
+            required[writer] = interval
+        entry = self.page_table.entry(page)
+        self.counters.invalidations += 1
+        if entry.dirty and self._twin_needed(page):
+            # False sharing across an acquire: preserve our un-released
+            # writes as a pending diff, rebased after the re-fetch.
+            if entry.twin is not None:
+                pending = compute_diff(
+                    page, entry.twin, self.working.read_page(page))
+                existing = self._pending_local_diffs.get(page)
+                if existing is not None:
+                    merged_runs = existing.runs + pending.runs
+                    pending = Diff(page, merged_runs)
+                self._pending_local_diffs[page] = pending
+        entry.access = Access.INVALID
+
+    def barrier_op(self, thread, barrier_id: int,
+                   epoch: Optional[int] = None):
+        """Global barrier, generation-aware.
+
+        ``epoch`` is the caller's persistent count of completed passes
+        through this barrier (tracked in checkpointable kernel state).
+        A thread replaying after a migration may re-arrive at a barrier
+        whose generation already completed -- with its node's
+        participation -- and must pass straight through; this is what
+        makes barrier re-execution idempotent (required by the recovery
+        replay semantics, see apps/base.py).
+        """
+        done = self.barrier_done.get(barrier_id, 0)
+        if epoch is None:
+            epoch = done
+        if epoch < done:
+            # Stale re-arrival: this generation completed earlier.
+            yield Delay(self.costs.barrier_per_node_us)
+            return None
+        self.hooks.fire(Hooks.BARRIER_ENTER, self.node_id,
+                        barrier=barrier_id, thread=thread.thread_id)
+        state = self._local_barrier_state(barrier_id, epoch)
+        if not state["released"]:
+            state["arrived"] += 1
+            # Exactly one leader per generation runs the internode
+            # protocol, even if the local thread count changes under a
+            # migration while the generation is open.
+            is_leader = (state["arrived"] >= self._local_thread_count()
+                         and not state["leader"])
+            if not is_leader:
+                ev = state.get("straggler_event")
+                if ev is not None and not ev.settled:
+                    ev.succeed(None)
+                yield from self.blocked_wait(state["event"])
+            else:
+                state["leader"] = True
+                self.counters.barriers += 1
+                yield from self._internode_barrier(thread, barrier_id,
+                                                   state)
+                self.barrier_done[barrier_id] = epoch + 1
+                state["released"] = True
+                self._local_barriers.pop((barrier_id, epoch - 1), None)
+                state["event"].succeed(None)
+        self.hooks.fire(Hooks.BARRIER_EXIT, self.node_id,
+                        barrier=barrier_id, thread=thread.thread_id)
+        return None
+
+    def _local_barrier_state(self, barrier_id: int,
+                             epoch: int) -> Dict[str, object]:
+        state = self._local_barriers.get((barrier_id, epoch))
+        if state is None:
+            state = {"arrived": 0, "released": False, "leader": False,
+                     "event": Event(self.engine, f"bar{barrier_id}.{epoch}")}
+            self._local_barriers[(barrier_id, epoch)] = state
+        return state
+
+    def _local_thread_count(self) -> int:
+        return self.runtime.threads_on_node(self.node_id)
+
+    def _gather_local_stragglers(self, state):
+        """Wait until every *current* local thread has arrived.
+
+        A no-op in normal operation (the leader is by definition the
+        last arrival); needed when a migrated thread joins this node
+        while a barrier generation is open -- the leader must see its
+        arrival (and commit its updates) before exchanging.
+        """
+        while state["arrived"] < self._local_thread_count():
+            ev = Event(self.engine, "straggler")
+            state["straggler_event"] = ev
+            if state["arrived"] >= self._local_thread_count():
+                break
+            yield from self.blocked_wait(ev)
+        state["straggler_event"] = None
+        return None
+
+    def _internode_barrier(self, thread, barrier_id: int, state):
+        yield from self._gather_local_stragglers(state)
+        yield Delay(self.costs.release_base_us)
+        pages = yield from thread.clock.in_category(
+            Category.PROTOCOL, self._commit_interval(thread))
+        interval = self.interval_no
+        yield from self._propagate_updates(thread, pages, interval)
+        # Ship every interval other nodes may not have seen yet.
+        own_log = self.interval_log[self.node_id]
+        entries = [(i, own_log[i]) for i in sorted(own_log)
+                   if i > self.last_barrier_interval]
+        body_bytes = (self.ts.wire_bytes + 8 + sum(
+            WRITE_NOTICE_BYTES * (1 + len(p)) for _i, p in entries))
+        manager = self.runtime.barrier_manager_node()
+        gen_no = self.barrier_done.get(barrier_id, 0)
+        reply = yield from self.call_service(
+            manager, BARRIER_SERVICE,
+            (barrier_id, self.node_id, gen_no, self.ts.encode(), entries),
+            request_bytes=body_bytes)
+        if reply[0] == ABORTED:
+            raise RecoverySignal()
+        self.last_barrier_interval = self.interval_no
+        if reply[0] == STALE_DONE:
+            # Our generation completed before the old manager died; the
+            # recovery exchange already delivered its effects.
+            return None
+        merged_blob, all_entries = reply
+        merged = VectorTimestamp.decode(self.config.num_nodes, merged_blob)
+        yield from thread.clock.in_category(
+            Category.PROTOCOL,
+            self._apply_barrier_notices(all_entries))
+        self.ts.merge(merged)
+        self._trim_interval_log()
+        return None
+
+    def _trim_interval_log(self) -> None:
+        """Garbage-collect write-notice history after a barrier.
+
+        Every interval up to ``last_barrier_interval`` was distributed
+        to all nodes by the barrier reply, so no future acquirer can
+        request it; discarding the entries bounds protocol metadata
+        (the log-trimming problem the paper's related-work section
+        holds against log-based schemes is solved here by the barrier's
+        global distribution).
+        """
+        own = self.interval_log[self.node_id]
+        stale = [i for i in own if i <= self.last_barrier_interval]
+        for interval in stale:
+            del own[interval]
+        self.counters.intervals_trimmed += len(stale)
+
+    def _apply_barrier_notices(self, all_entries):
+        for node, interval, pages in all_entries:
+            if node == self.node_id:
+                continue
+            yield from self._apply_write_notices(node, [(interval, pages)])
+        return None
+
+
+class _LocalMessage:
+    """Shim so local notify delivery matches the NIC message shape."""
+
+    __slots__ = ("src", "payload")
+
+    def __init__(self, src: int, channel: str, body) -> None:
+        self.src = src
+        self.payload = (channel, body)

@@ -1,0 +1,141 @@
+"""Application-facing shared-memory API.
+
+A :class:`SvmThread` is what an application kernel sees: shared-memory
+reads/writes, lock acquire/release, barriers, and a ``compute`` call
+charging modelled CPU time. All methods are generators (run under the
+simulation); the typed helpers move numpy arrays in and out of shared
+pages so kernels can do real arithmetic on real shared data.
+
+Time accounting happens here: each operation pushes its coarse category
+(LOCK, BARRIER; page faults push DATA_WAIT inside the agent), so the
+per-thread clock can reproduce both of the paper's breakdown formats.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.metrics import Category, ThreadClock
+from repro.metrics.latency import BARRIER_WAIT, LOCK_WAIT, RELEASE
+from repro.sim import Delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocol.agent import SvmNodeAgent
+
+
+class SvmThread:
+    """One application compute thread bound to a node agent."""
+
+    def __init__(self, agent: "SvmNodeAgent", thread_id: int,
+                 clock: ThreadClock) -> None:
+        self.agent = agent
+        self.thread_id = thread_id
+        self.clock = clock
+
+    @property
+    def node_id(self) -> int:
+        return self.agent.node_id
+
+    def rebind(self, agent: "SvmNodeAgent") -> None:
+        """Recovery: the thread now executes on a different node."""
+        self.agent = agent
+
+    # -- compute ------------------------------------------------------------
+
+    def compute(self, us: float):
+        """Charge ``us`` microseconds of application CPU time."""
+        if us > 0:
+            yield Delay(us)
+        return None
+
+    # -- raw shared memory -----------------------------------------------------
+
+    def read(self, addr: int, size: int):
+        """Generator returning ``size`` bytes of shared memory."""
+        return (yield from self.agent.read(self, addr, size))
+
+    def write(self, addr: int, data: bytes):
+        """Generator writing ``data`` into shared memory."""
+        return (yield from self.agent.write(self, addr, data))
+
+    # -- typed shared memory ------------------------------------------------------
+
+    def read_array(self, addr: int, dtype, count: int):
+        """Generator returning a numpy array copied out of shared memory."""
+        dtype = np.dtype(dtype)
+        raw = yield from self.read(addr, dtype.itemsize * count)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def write_array(self, addr: int, array) -> object:
+        """Generator writing a numpy array into shared memory."""
+        arr = np.ascontiguousarray(array)
+        return (yield from self.write(addr, arr.tobytes()))
+
+    def read_i64(self, addr: int):
+        raw = yield from self.read(addr, 8)
+        return int(np.frombuffer(raw, dtype=np.int64)[0])
+
+    def write_i64(self, addr: int, value: int):
+        return (yield from self.write(
+            addr, np.int64(value).tobytes()))
+
+    def read_f64(self, addr: int):
+        raw = yield from self.read(addr, 8)
+        return float(np.frombuffer(raw, dtype=np.float64)[0])
+
+    def write_f64(self, addr: int, value: float):
+        return (yield from self.write(
+            addr, np.float64(value).tobytes()))
+
+    # -- synchronization -------------------------------------------------------------
+
+    def acquire(self, lock_id: int):
+        """Generator: acquire a shared lock (LRC acquire semantics)."""
+        self.clock.push(Category.LOCK)
+        start = self.agent.engine.now
+        try:
+            yield from self.agent.acquire_op(self, lock_id)
+        finally:
+            self.agent.latency.record(LOCK_WAIT,
+                                      self.agent.engine.now - start)
+            self.clock.pop(Category.LOCK)
+        return None
+
+    def release(self, lock_id: int):
+        """Generator: release a shared lock (commits + propagates)."""
+        self.clock.push(Category.LOCK)
+        start = self.agent.engine.now
+        try:
+            yield from self.agent.release_op(self, lock_id)
+        finally:
+            self.agent.latency.record(RELEASE,
+                                      self.agent.engine.now - start)
+            self.clock.pop(Category.LOCK)
+        return None
+
+    def barrier(self, barrier_id: int, epoch=None):
+        """Generator: global barrier (commit, all-to-all, invalidate).
+
+        Application kernels should call ``ctx.barrier`` instead, which
+        tracks the checkpointable ``epoch`` automatically.
+        """
+        self.clock.push(Category.BARRIER)
+        start = self.agent.engine.now
+        try:
+            yield from self.agent.barrier_op(self, barrier_id, epoch)
+        finally:
+            self.agent.latency.record(BARRIER_WAIT,
+                                      self.agent.engine.now - start)
+            self.clock.pop(Category.BARRIER)
+        return None
+
+    def critical(self, lock_id: int, body):
+        """Generator helper: acquire, run ``body`` generator, release."""
+        yield from self.acquire(lock_id)
+        try:
+            result = yield from body
+        finally:
+            yield from self.release(lock_id)
+        return result

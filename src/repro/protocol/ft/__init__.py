@@ -1,0 +1,8 @@
+"""Fault-tolerant protocol extensions (paper section 4)."""
+
+from repro.protocol.ft.checkpoint import CheckpointStore, ReleaseRecord
+from repro.protocol.ft.protocol import FtSvmNodeAgent
+from repro.protocol.ft.recovery import RecoveryManager
+
+__all__ = ["FtSvmNodeAgent", "RecoveryManager", "CheckpointStore",
+           "ReleaseRecord"]

@@ -1,0 +1,659 @@
+"""The extended, fault-tolerant SVM protocol (paper section 4).
+
+Extends the base GeNIMA agent with:
+
+* **dual page homes** -- every page has a primary home keeping a
+  *committed* copy and a secondary home keeping a *tentative* copy;
+  fetches are served from committed copies only;
+* **two-phase diff propagation** -- phase 1 applies diffs to tentative
+  copies at secondary homes; the releaser then saves its timestamp (and
+  the release's diffs) at its backup node (point B) and only then
+  updates the committed copies (phase 2). Committed copies are updated
+  last, so home updates serialize and a release is atomic w.r.t.
+  single failures (Fig 2);
+* **twins and diffs for home pages too** -- both copies must be kept
+  current, so home nodes now diff their own pages (a dominant overhead
+  for FFT/LU per section 5.3);
+* **page locking** -- pages committed by an outstanding release stall
+  new faults until propagation completes, preventing the eager-diff
+  atomicity violation of Fig 4;
+* **serialized releases** per SMP node (checkpoints must not overlap,
+  section 4.4);
+* **remote thread checkpointing** at points A and B, double-buffered;
+* **recovery participation** -- every synchronization operation is
+  wrapped in a retry loop that parks the thread at the recovery
+  rendezvous when a failure is detected and retries (against the
+  reconfigured home map) afterwards.
+
+An addition relative to the paper's text: tentative copies keep a
+small per-release *undo log* and the point-A shipment carries the
+release's diffs, so roll-back and roll-forward remain executable even
+when the failed node was itself one of an updated page's two homes
+(see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import Hooks
+from repro.errors import ProtocolError, RemoteNodeFailure
+from repro.memory import Access, Diff, PageStore, compute_diff
+from repro.metrics import Category
+from repro.protocol.agent import SvmNodeAgent
+from repro.protocol.ft.checkpoint import (
+    CheckpointStore,
+    ReleaseRecord,
+    encode_thread_state,
+)
+from repro.protocol.signals import RecoverySignal
+from repro.sim import Delay, Event, Interrupted
+
+#: Notify channel carrying checkpoint traffic to backup nodes.
+CKPT_CHANNEL = "ft_ckpt"
+#: Fetch-page sentinel asking the requester to retry after recovery.
+RETRY_SENTINEL = "__retry__"
+
+# Release pipeline stages (resumable across recoveries).
+STAGE_PREP = 0
+STAGE_PHASE1 = 1
+STAGE_POINT_B = 2
+STAGE_LOCK_RELEASE = 3
+STAGE_PHASE2 = 4
+
+
+@dataclass
+class _InflightRelease:
+    seq: int
+    interval: int
+    pages: List[int]
+    diffs: Dict[int, Diff]
+    stage: int = STAGE_PHASE1
+    lock_id: Optional[int] = None
+
+
+@dataclass
+class _UndoRecord:
+    seq: int
+    #: page -> list of (offset, old bytes) captured before diff apply.
+    pages: Dict[int, List[Tuple[int, bytes]]] = field(default_factory=dict)
+
+
+class FtSvmNodeAgent(SvmNodeAgent):
+    """GeNIMA extended with dynamic data replication."""
+
+    variant = "ft"
+
+    def __init__(self, cluster, node_id, homes, runtime) -> None:
+        super().__init__(cluster, node_id, homes, runtime)
+        num_pages = self.config.shared_pages
+        self.committed = PageStore("committed", num_pages, self.page_size)
+        self.tentative = PageStore("tentative", num_pages, self.page_size)
+        self.node.regions.export_region(self.committed)
+        self.node.regions.export_region(self.tentative)
+
+        self.ckpt_store = CheckpointStore(node_id)
+        self.register_notify(CKPT_CHANNEL, self._on_checkpoint)
+
+        self.register_notify("svm_diff_flush", lambda msg: None)
+        self.release_seq = 0
+        #: thread id -> resumable release pipeline state.
+        self._inflight: Dict[int, _InflightRelease] = {}
+        self._release_busy: Optional[Event] = None
+        #: Interval number as of our last *point-B-published* release;
+        #: what other nodes may legitimately know about us.
+        self.published_interval = 0
+        #: Secondary-home undo log: writer -> newest release's old bytes.
+        self._undo: Dict[int, _UndoRecord] = {}
+        self.recovery_pending: Optional[RecoverySignal] = None
+        #: Set by recovery when this node's checkpoint backup died: the
+        #: first thread leaving the rendezvous performs a null release
+        #: to re-establish checkpoint redundancy at the new backup.
+        self.needs_checkpoint_reseed = False
+
+    # ------------------------------------------------------------------
+    # Recovery plumbing
+    # ------------------------------------------------------------------
+
+    def check_recovery_abort(self) -> None:
+        if self.recovery_pending is not None:
+            raise RecoverySignal(self.recovery_pending.failed_node)
+
+    def blocked_wait(self, event: Event):
+        """Wait on a local handoff event, registered as quiescent for
+        the recovery rendezvous (the thread cannot act until another
+        local thread resumes)."""
+        manager = self.runtime.recovery_manager
+        manager.note_blocked(self.node_id)
+        try:
+            result = yield event
+        finally:
+            manager.note_unblocked(self.node_id)
+        return result
+
+    def abort_local_waits(self) -> None:
+        """Called at recovery start: wake version waiters with a
+        recovery signal so they can park (their awaited diffs may have
+        died with the failed node)."""
+        events, self._version_events = self._version_events, {}
+        for ev in events.values():
+            if not ev.settled:
+                ev.fail(RecoverySignal())
+
+    def _recovery_retry(self, thread, factory):
+        """Run ``factory()`` (a generator factory), parking at the
+        recovery rendezvous and retrying on failure signals."""
+        while True:
+            if self.recovery_pending is not None:
+                yield from self.join_recovery(thread, self.recovery_pending)
+                continue
+            try:
+                result = yield from factory()
+                return result
+            except RemoteNodeFailure as exc:
+                yield from self.join_recovery(
+                    thread, RecoverySignal(exc.node_id))
+            except RecoverySignal as exc:
+                yield from self.join_recovery(thread, exc)
+            except Interrupted as exc:
+                if isinstance(exc.cause, RecoverySignal):
+                    yield from self.join_recovery(thread, exc.cause)
+                else:
+                    raise
+
+    def join_recovery(self, thread, signal: RecoverySignal):
+        """Report + park + (possibly) reseed. Never lets recovery-class
+        exceptions escape: a *new* failure surfacing during the reseed
+        null release loops back into another report/park round, so the
+        caller's retry handler stays simple."""
+        manager = self.runtime.recovery_manager
+        null_started = False
+        while True:
+            if signal is not None and signal.failed_node is not None:
+                manager.report_failure(signal.failed_node)
+            yield from manager.park(thread)
+            if not null_started:
+                if not self.needs_checkpoint_reseed \
+                        or thread.thread_id in self._inflight:
+                    # A thread with a paused pipeline of its own must
+                    # not run the reseed -- its retry will resume that
+                    # pipeline; any fresh release re-ships checkpoints
+                    # anyway (see _commit_for_release).
+                    return
+                # Our checkpoint backup died with our threads' saved
+                # states: run a null release (commit + two-phase
+                # propagation + points A/B) so the new backup holds
+                # current checkpoints before application work resumes.
+                self.needs_checkpoint_reseed = False
+                null_started = True
+            # Run (or, after a nested failure, finish) the null
+            # release. Once started it MUST complete inside this call:
+            # returning with it half-done would leak the release slot
+            # and leave its inflight record to be mistaken for the
+            # caller's next real release.
+            try:
+                yield from self._release_pipeline(thread, None)
+                return
+            except RemoteNodeFailure as exc:
+                signal = RecoverySignal(exc.node_id)
+            except RecoverySignal as exc:
+                signal = exc
+            except Interrupted as exc:
+                if not isinstance(exc.cause, RecoverySignal):
+                    raise
+                signal = exc.cause
+
+    # ------------------------------------------------------------------
+    # Memory access wrappers (retry across recoveries)
+    # ------------------------------------------------------------------
+
+    def read(self, thread, addr: int, size: int):
+        return (yield from self._recovery_retry(
+            thread, lambda: super(FtSvmNodeAgent, self).read(
+                thread, addr, size)))
+
+    def write(self, thread, addr: int, data: bytes):
+        return (yield from self._recovery_retry(
+            thread, lambda: super(FtSvmNodeAgent, self).write(
+                thread, addr, data)))
+
+    # ------------------------------------------------------------------
+    # Page management: dual homes, committed/tentative copies
+    # ------------------------------------------------------------------
+
+    def _twin_needed(self, page: int) -> bool:
+        # Twins are created even for home pages (section 4.2): every
+        # updated page is diffed to both of its homes.
+        return True
+
+    def _fetch_store(self, page: int) -> PageStore:
+        # Fetches are served from the committed copy: the version
+        # containing exactly the permanent, failure-immune updates.
+        return self.committed
+
+    def _load_page(self, thread, page: int):
+        home = self.homes.primary_home(page)
+        if home == self.node_id:
+            # Local fetch: copy our committed copy into the working copy
+            # (the extended protocol's extra local fetch, section 5.2).
+            yield from self._wait_local_versions(page)
+            yield from self.node.mem_copy(self.page_size)
+            self.counters.local_page_fetches += 1
+            data = self.committed.read_page(page)
+            self._install_fetched(page, data)
+            return
+        required = dict(self.required_versions.get(page, {}))
+        self.counters.remote_page_fetches += 1
+        data = yield from self.call_service(
+            home, "svm_fetch_page", (page, required))
+        if data == RETRY_SENTINEL:
+            raise RecoverySignal()
+        yield from self.node.mem_copy(self.page_size)
+        self._install_fetched(page, data)
+
+    def _serve_fetch_page(self, body, src: int):
+        page, required = body
+        try:
+            yield from self._wait_versions(page, required)
+        except RecoverySignal:
+            return RETRY_SENTINEL, 16
+        data = self.committed.read_page(page)
+        return data, self.page_size
+
+    # Incoming diffs: phase selects the target copy --------------------------
+
+    def _on_diff(self, msg):
+        body = msg.payload[1]
+        if body[0] == "batch":
+            _tag, phase, writer, interval, seq, blobs = body
+            for blob in blobs:
+                yield from self._apply_one_diff(phase, writer, interval,
+                                                seq, blob)
+            return
+        phase, writer, interval, seq, blob = body
+        yield from self._apply_one_diff(phase, writer, interval, seq,
+                                        blob)
+
+    def _apply_one_diff(self, phase, writer, interval, seq, blob):
+        diff = Diff.decode(blob)
+        yield Delay(self.costs.diff_apply_us(max(diff.changed_bytes, 1)))
+        if phase == "tent":
+            self._record_undo(writer, seq, diff)
+            buf = self.tentative.page_view(diff.page_id)
+            for offset, data in diff.runs:
+                buf[offset:offset + len(data)] = data
+        elif phase == "comm":
+            buf = self.committed.page_view(diff.page_id)
+            for offset, data in diff.runs:
+                buf[offset:offset + len(data)] = data
+            self._bump_version(diff.page_id, writer, interval)
+        else:
+            raise ProtocolError(f"unknown diff phase {phase!r}")
+
+    def _record_undo(self, writer: int, seq: int, diff: Diff) -> None:
+        record = self._undo.get(writer)
+        if record is None or record.seq < seq:
+            record = _UndoRecord(seq)
+            self._undo[writer] = record
+        elif record.seq > seq:
+            return  # stale retransmission of an older release
+        if diff.page_id in record.pages:
+            return  # recovery-retry resend: keep the first (true) undo
+        old_runs = [(offset, self.tentative.read_span(
+            diff.page_id, offset, len(data)))
+            for offset, data in diff.runs]
+        record.pages[diff.page_id] = old_runs
+
+    def apply_undo(self, writer: int, seq: int) -> List[int]:
+        """Recovery: cancel a failed writer's partially-propagated
+        release by restoring old bytes at our tentative copies.
+        Returns the pages touched (for cost accounting)."""
+        record = self._undo.get(writer)
+        if record is None or record.seq != seq:
+            return []
+        for page, runs in record.pages.items():
+            buf = self.tentative.page_view(page)
+            for offset, old in runs:
+                buf[offset:offset + len(old)] = old
+        touched = sorted(record.pages)
+        del self._undo[writer]
+        return touched
+
+    # ------------------------------------------------------------------
+    # Release pipeline: commit -> ckpt A -> phase 1 -> point B ->
+    # lock handover -> phase 2 -> unlock
+    # ------------------------------------------------------------------
+
+    def release_op(self, thread, lock_id: int):
+        self.counters.releases += 1
+        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id)
+        yield from self._recovery_retry(
+            thread, lambda: self._release_pipeline(thread, lock_id))
+        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id)
+        return None
+
+    def _acquire_release_slot(self, thread):
+        """Serialize releases within the node (section 4.4: checkpoints
+        by different threads must not overlap)."""
+        if not self.config.protocol.serialize_releases:
+            return
+        while self._release_busy is not None:
+            self.counters.release_serialization_stalls += 1
+            yield from self.blocked_wait(self._release_busy)
+        self._release_busy = Event(self.engine, f"relslot{self.node_id}")
+
+    def _free_release_slot(self) -> None:
+        if self._release_busy is not None:
+            busy, self._release_busy = self._release_busy, None
+            if not busy.settled:
+                busy.succeed(None)
+
+    def _release_pipeline(self, thread, lock_id: Optional[int]):
+        tid = thread.thread_id
+        if tid not in self._inflight:
+            yield from self._acquire_release_slot(thread)
+            # No yields between slot grant and commit: the commit is
+            # atomic with respect to interruption.
+            self._commit_for_release(thread, lock_id)
+        fl = self._inflight[tid]
+        if fl.stage == STAGE_PREP:
+            yield from self._prepare_release(thread, fl)
+            fl.stage = STAGE_PHASE1
+        if fl.stage == STAGE_PHASE1:
+            yield from thread.clock.in_category(
+                Category.DIFF, self._send_diffs(fl, "tent"))
+            self.hooks.fire(Hooks.DIFF_PHASE1_DONE, self.node_id,
+                            seq=fl.seq)
+            fl.stage = STAGE_POINT_B
+        if fl.stage == STAGE_POINT_B:
+            yield from thread.clock.in_category(
+                Category.CHECKPOINT, self._point_b(thread, fl))
+            fl.stage = STAGE_LOCK_RELEASE
+        if fl.stage == STAGE_LOCK_RELEASE:
+            if fl.lock_id is not None:
+                yield from self.locks.release(fl.lock_id, self.ts.copy())
+                self.hooks.fire(Hooks.LOCK_RELEASED, self.node_id,
+                                lock=fl.lock_id)
+            fl.stage = STAGE_PHASE2
+            self.hooks.fire(Hooks.DIFF_PHASE2_START, self.node_id,
+                            seq=fl.seq)
+        if fl.stage == STAGE_PHASE2:
+            yield from thread.clock.in_category(
+                Category.DIFF, self._send_diffs(fl, "comm"))
+            self._unlock_pages(fl.pages)
+            del self._inflight[tid]
+            self._free_release_slot()
+            self.hooks.fire(Hooks.DIFF_PHASE2_DONE, self.node_id,
+                            seq=fl.seq)
+        return None
+
+    def _commit_for_release(self, thread, lock_id: Optional[int]) -> None:
+        """End the interval: pure state mutations, no yields, so an
+        interruption can never split the commit."""
+        self.release_seq += 1
+        seq = self.release_seq
+        pages: List[int] = []
+        if self.update_list:
+            self.interval_no += 1
+            self.ts[self.node_id] = self.interval_no
+            pages = list(self.update_list)
+            self.update_list.clear()
+            self.interval_log[self.node_id][self.interval_no] = pages
+            for page in pages:
+                entry = self.page_table.entry(page)
+                # Page locking (Fig 4): stall faults until propagation
+                # completes; downgrade so new writes fault.
+                entry.locked = True
+                if entry.access is Access.READ_WRITE:
+                    entry.access = Access.READ_ONLY
+        # Any fresh release re-establishes checkpoint coverage (points
+        # A and B ship every local thread's state to the new backup).
+        self.needs_checkpoint_reseed = False
+        self._inflight[thread.thread_id] = _InflightRelease(
+            seq=seq, interval=self.interval_no, pages=pages, diffs={},
+            stage=STAGE_PREP, lock_id=lock_id)
+        self.hooks.fire(Hooks.RELEASE_COMMITTED, self.node_id,
+                        interval=self.interval_no, pages=pages)
+
+    def _prepare_release(self, thread, fl: _InflightRelease):
+        """Checkpoint peers (point A), compute diffs, ship the pending
+        record to the backup. Every step is idempotent so a recovery
+        retry can safely re-run the stage."""
+        yield Delay(self.costs.release_base_us
+                    + self.costs.commit_per_page_us * len(fl.pages)
+                    + self.costs.page_lock_us * len(fl.pages))
+        # Point A: suspend peers, ship their states to the backup.
+        yield from thread.clock.in_category(
+            Category.CHECKPOINT, self._point_a(thread, fl.seq))
+        # Compute all diffs once; they serve both phases (and the
+        # pending record shipped to the backup).
+        for page in fl.pages:
+            if page in fl.diffs:
+                continue  # recomputed stage: twin already consumed
+            entry = self.page_table.entry(page)
+            diff = yield from thread.clock.in_category(
+                Category.DIFF, self._compute_page_diff(page, entry))
+            fl.diffs[page] = diff
+            entry.dirty = False
+            entry.twin = None
+        record_body = ("pending", self.node_id, fl.seq, fl.interval,
+                       fl.pages,
+                       {page: diff.encode()
+                        for page, diff in fl.diffs.items()},
+                       self.last_barrier_interval)
+        body_bytes = 32 + sum(d.wire_bytes for d in fl.diffs.values())
+        backup = self.homes.backup_node(self.node_id)
+        yield from self.notify(backup, CKPT_CHANNEL, record_body,
+                               body_bytes=body_bytes, wait=True)
+        return None
+
+    def _compute_page_diff(self, page: int, entry):
+        yield Delay(self.costs.diff_compute_us(self.page_size))
+        twin = entry.twin if entry.twin is not None else bytes(self.page_size)
+        diff = compute_diff(page, twin, self.working.read_page(page))
+        self.counters.pages_diffed += 1
+        if self.homes.primary_home(page) == self.node_id:
+            self.counters.home_pages_diffed += 1
+        return diff
+
+    def _send_diffs(self, fl: _InflightRelease, phase: str):
+        """One propagation phase: send every diff to the phase's home
+        set, then flush each destination (FIFO + waited marker) so the
+        stage is stable before the pipeline advances.
+
+        With ``batch_diffs`` (section 6's "fewer and larger messages"
+        optimization) all of a destination's diffs travel as one
+        message, trading per-message NIC occupancy for burst size.
+        """
+        by_target: Dict[int, List[Diff]] = {}
+        for page in fl.pages:
+            diff = fl.diffs[page]
+            if phase == "tent":
+                target = self.homes.secondary_home(page)
+            else:
+                target = self.homes.primary_home(page)
+            by_target.setdefault(target, []).append(diff)
+        if self.config.protocol.batch_diffs:
+            for target in sorted(by_target):
+                diffs = by_target[target]
+                blobs = [d.encode() for d in diffs]
+                size = sum(d.wire_bytes for d in diffs)
+                self.counters.diff_messages += 1
+                self.counters.diff_bytes_sent += size
+                body = ("batch", phase, self.node_id, fl.interval,
+                        fl.seq, blobs)
+                yield from self.notify(target, "svm_diff", body,
+                                       body_bytes=size)
+        else:
+            for target in sorted(by_target):
+                for diff in by_target[target]:
+                    body = (phase, self.node_id, fl.interval, fl.seq,
+                            diff.encode())
+                    self.counters.diff_messages += 1
+                    self.counters.diff_bytes_sent += diff.wire_bytes
+                    yield from self.notify(target, "svm_diff", body,
+                                           body_bytes=diff.wire_bytes)
+        for target in sorted(by_target):
+            if target != self.node_id:
+                yield from self.notify(target, "svm_diff_flush", None,
+                                       body_bytes=0, wait=True)
+        return None
+
+    def _point_a(self, thread, seq: int):
+        """Checkpoint every local thread except the releaser."""
+        if not self.config.protocol.checkpointing:
+            return None
+        peers = [rec for rec in self.runtime.threads
+                 if rec.current_node == self.node_id
+                 and not rec.finished
+                 and rec.tid != thread.thread_id]
+        yield Delay(self.costs.thread_suspend_us * len(peers))
+        for rec in peers:
+            yield from self._ship_thread_state(rec, seq)
+        self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=seq)
+        return None
+
+    def _point_b(self, thread, fl: _InflightRelease):
+        """Save our timestamp and the releaser's own state remotely;
+        after this the release is conceptually complete."""
+        backup = self.homes.backup_node(self.node_id)
+        if self.config.protocol.checkpointing:
+            rec = self.runtime.threads[thread.thread_id]
+            yield from self._ship_thread_state(rec, fl.seq)
+        yield from self.notify(
+            backup, CKPT_CHANNEL,
+            ("complete", self.node_id, fl.seq, self.ts.encode()),
+            body_bytes=16 + self.ts.wire_bytes, wait=True)
+        self.published_interval = self.interval_no
+        self.hooks.fire(Hooks.CHECKPOINT_B, self.node_id, seq=fl.seq)
+        return None
+
+    def _ship_thread_state(self, rec, seq: int):
+        blob = encode_thread_state(rec.ctx.state)
+        # Accounted size includes the modelled native stack (the paper
+        # ships context + stack; our explicit state is more compact).
+        size = len(blob) + self.costs.checkpoint_stack_bytes
+        self.counters.checkpoints += 1
+        self.counters.checkpoint_bytes += size
+        yield Delay(self.costs.checkpoint_us(size))
+        backup = self.homes.backup_node(self.node_id)
+        yield from self.notify(
+            backup, CKPT_CHANNEL,
+            ("state", self.node_id, rec.tid, seq, blob),
+            body_bytes=size + 32)
+        return None
+
+    def initial_checkpoint(self, rec):
+        """Ship a seq-0 checkpoint right after initialization so a
+        thread that fails before its first release can still be
+        recovered (into the start of the timed region)."""
+        if not self.config.protocol.checkpointing:
+            return None
+        yield from self._ship_thread_state(rec, 0)
+        return None
+
+    def _on_checkpoint(self, msg):
+        body = msg.payload[1]
+        kind = body[0]
+        ward = body[1]
+        manager = self.runtime.recovery_manager
+        if manager is not None and (ward == manager.active
+                                    or ward in self.homes.failed):
+            # A checkpoint record from a node whose failure has been
+            # detected: it was in flight at the death. Accepting it now
+            # would flip recovery decisions already being made from the
+            # frozen records (the paper's "no guarantee of success for
+            # previous operations" case) -- drop it.
+            return
+        yield Delay(self.costs.checkpoint_base_us * 0.2)
+        if kind == "state":
+            _k, ward, tid, seq, blob = body
+            self.ckpt_store.store_thread_state(ward, tid, seq, blob)
+        elif kind == "pending":
+            _k, ward, seq, interval, pages, diff_blobs, horizon = body
+            self.ckpt_store.store_pending(ward, ReleaseRecord(
+                seq=seq, interval=interval, pages=list(pages),
+                diffs=dict(diff_blobs)))
+            self.ckpt_store.trim_mirror(ward, horizon)
+        elif kind == "complete":
+            _k, ward, seq, ts_blob = body
+            self.ckpt_store.store_complete(ward, seq, ts_blob)
+        else:
+            raise ProtocolError(f"unknown checkpoint record {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Acquire / barrier with recovery retries
+    # ------------------------------------------------------------------
+
+    def acquire_op(self, thread, lock_id: int):
+        yield Delay(self.costs.acquire_base_us)
+        grant_ts = yield from self._recovery_retry(
+            thread, lambda: self.locks.acquire(lock_id))
+        self.counters.acquires += 1
+        yield from self._recovery_retry(
+            thread, lambda: thread.clock.in_category(
+                Category.PROTOCOL, self._apply_incoming_ts(grant_ts)))
+        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id)
+        return None
+
+    def _internode_barrier(self, thread, barrier_id: int, state):
+        # The whole leader sequence restarts after a recovery: a thread
+        # migrated onto this node mid-generation must be gathered and
+        # its updates committed before we (re-)exchange.
+        yield from self._recovery_retry(
+            thread, lambda: self._leader_sequence(thread, barrier_id,
+                                                  state))
+        return None
+
+    def _leader_sequence(self, thread, barrier_id: int, state):
+        if thread.thread_id in self._inflight:
+            # A pre-failure pipeline paused mid-release still holds its
+            # committed pages locked; finish it *before* gathering --
+            # a straggler may need those pages to make progress, and it
+            # commits only its original page set anyway.
+            yield from self._release_pipeline(thread, None)
+        yield from self._gather_local_stragglers(state)
+        # Fresh commit covering everything dirtied up to the barrier,
+        # including writes by threads gathered after a recovery.
+        yield from self._release_pipeline(thread, None)
+        yield from self._barrier_exchange(thread, barrier_id)
+        return None
+
+    def _barrier_exchange(self, thread, barrier_id: int):
+        from repro.protocol.agent import WRITE_NOTICE_BYTES
+        from repro.protocol.barrier import (
+            ABORTED,
+            BARRIER_SERVICE,
+            STALE_DONE,
+        )
+        from repro.protocol.timestamps import VectorTimestamp
+        own_log = self.interval_log[self.node_id]
+        entries = [(i, own_log[i]) for i in sorted(own_log)
+                   if i > self.last_barrier_interval]
+        body_bytes = (self.ts.wire_bytes + 8 + sum(
+            WRITE_NOTICE_BYTES * (1 + len(p)) for _i, p in entries))
+        manager = self.runtime.barrier_manager_node()
+        gen_no = self.barrier_done.get(barrier_id, 0)
+        reply = yield from self.call_service(
+            manager, BARRIER_SERVICE,
+            (barrier_id, self.node_id, gen_no, self.ts.encode(), entries),
+            request_bytes=body_bytes)
+        if reply[0] == ABORTED:
+            raise RecoverySignal()
+        self.last_barrier_interval = self.interval_no
+        if reply[0] == STALE_DONE:
+            # Our generation completed before the old manager died; the
+            # recovery exchange already delivered its effects.
+            return None
+        merged_blob, all_entries = reply
+        merged = VectorTimestamp.decode(self.config.num_nodes, merged_blob)
+        yield from thread.clock.in_category(
+            Category.PROTOCOL, self._apply_barrier_notices(all_entries))
+        self.ts.merge(merged)
+        self._trim_interval_log()
+        return None
+
+    # The local half of barrier_op (epoch-aware thread gathering) is
+    # inherited from the base agent; only the internode exchange above
+    # is FT-specific (two-phase propagation + recovery retries).

@@ -1,0 +1,433 @@
+"""Failure recovery orchestration (paper section 4.5).
+
+When any thread detects a node failure (a communication error or a
+heart-beat timeout), recovery proceeds in the phases the paper
+describes:
+
+1. **Global rendezvous** -- every live application thread parks (in
+   flight barriers are aborted; local waits count as quiescent since
+   the waited-on thread itself parks). This realizes the precondition
+   that no update propagation is outstanding anywhere except at the
+   failed node.
+2. **Reconfiguration** -- every node excludes the failed node from its
+   (deterministic) home map: pages and locks get new primary/secondary
+   homes, always on distinct live nodes.
+3. **Replica reconciliation** -- the failed node's last release is
+   rolled *forward* (its point-B timestamp was saved: apply its saved
+   diffs to the surviving/new home copies) or *backward* (undo its
+   partial tentative updates). Un-published releases of *surviving*
+   nodes are also rewound to their phase-1 start so their retries
+   re-propagate cleanly against the new homes.
+4. **Re-replication** -- pages and locks that lost one replica get a
+   fresh second replica on the new home.
+5. **Global state exchange** -- a barrier-equivalent merge of vector
+   timestamps (capped at each node's *published* interval) and write
+   notices, including the failed node's mirrored interval log, so that
+   every live node has invalidated everything it must.
+6. **Thread resumption** -- the failed node's threads are re-created on
+   its backup node from their latest complete checkpoints and
+   immediately re-checkpointed to the new backup.
+
+A second failure while recovery is in progress raises
+:class:`UnrecoverableFailure` (the paper tolerates multiple failures
+only when the system fully recovers in between).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.apps.base import AppContext
+from repro.cluster import Hooks
+from repro.errors import RecoveryError, UnrecoverableFailure
+from repro.protocol.ft.checkpoint import ReleaseRecord, encode_thread_state
+from repro.protocol.ft.protocol import STAGE_PHASE1, STAGE_POINT_B
+from repro.protocol.locks import LOCKTS_REGION, LOCKVEC_REGION
+from repro.protocol.signals import RecoverySignal
+from repro.protocol.timestamps import VectorTimestamp
+from repro.sim import Delay, Event
+
+
+class RecoveryManager:
+    """Cluster-wide recovery coordinator.
+
+    Host-level object (one per runtime): the real system computes all
+    of this independently-but-identically on every live node from
+    deterministic inputs; centralizing it in the simulator changes no
+    observable behaviour, and its costs are charged to simulated time.
+    """
+
+    def __init__(self, runtime) -> None:
+        self.runtime = runtime
+        self.engine = runtime.engine
+        self.recoveries = 0
+        self.last_recovery_us: float = 0.0
+        self.active: Optional[int] = None
+        self.recovered: Set[int] = set()
+        self._parked: Set[int] = set()
+        self._blocked: Dict[int, int] = {}
+        self._done_event: Optional[Event] = None
+        self._quiescent: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Quiescence tracking
+    # ------------------------------------------------------------------
+
+    def note_blocked(self, node_id: int) -> None:
+        self._blocked[node_id] = self._blocked.get(node_id, 0) + 1
+        self._check_quiescent()
+
+    def note_unblocked(self, node_id: int) -> None:
+        self._blocked[node_id] = self._blocked.get(node_id, 0) - 1
+
+    def note_finished(self) -> None:
+        self._check_quiescent()
+
+    def _required_parkers(self) -> List[int]:
+        return [rec.tid for rec in self.runtime.threads
+                if not rec.finished
+                and rec.current_node != self.active
+                and self.runtime.cluster.node(rec.current_node).alive]
+
+    def _check_quiescent(self) -> None:
+        if self.active is None or self._quiescent is None \
+                or self._quiescent.settled:
+            return
+        required = self._required_parkers()
+        blocked = sum(count for node, count in self._blocked.items()
+                      if self.runtime.cluster.node(node).alive)
+        if len(self._parked & set(required)) + blocked >= len(required):
+            self._quiescent.succeed(None)
+
+    # ------------------------------------------------------------------
+    # Entry points called from protocol code
+    # ------------------------------------------------------------------
+
+    def report_failure(self, failed: int) -> None:
+        if failed in self.recovered and self.active is None:
+            return  # stale signal about an already-recovered node
+        if self.active is not None:
+            if failed != self.active:
+                raise UnrecoverableFailure(
+                    f"node {failed} failed while recovery of node "
+                    f"{self.active} is still in progress")
+            return
+        if self.runtime.cluster.node(failed).alive:
+            raise RecoveryError(
+                f"false failure suspicion of live node {failed}")
+        self.active = failed
+        self._done_event = Event(self.engine, "recovery.done")
+        self._quiescent = Event(self.engine, "recovery.quiescent")
+        self._parked.clear()
+        for node_id in self._live_ids():
+            agent = self.runtime.agents[node_id]
+            agent.recovery_pending = RecoverySignal(failed)
+            agent.abort_local_waits()
+        for manager in self.runtime.barrier_managers:
+            manager.abort_pending()
+        self.runtime.cluster.hooks.fire(
+            Hooks.FAILURE_DETECTED, failed, time=self.engine.now)
+        self.engine.spawn(self._coordinate(failed), "recovery.coord")
+        self._check_quiescent()
+
+    def park(self, thread):
+        """Generator: wait at the recovery rendezvous until recovery
+        completes. Returns immediately on stale signals."""
+        if self.active is None:
+            return None
+        self._parked.add(thread.thread_id)
+        done = self._done_event
+        self._check_quiescent()
+        try:
+            yield done
+        finally:
+            self._parked.discard(thread.thread_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # The recovery coordinator
+    # ------------------------------------------------------------------
+
+    def _live_ids(self) -> List[int]:
+        return [node.node_id for node in self.runtime.cluster.nodes
+                if node.alive]
+
+    def _check_no_second_failure(self, failed: int) -> None:
+        """A node dying while recovery is running (before redundancy is
+        restored) is the paper's explicitly-untolerated case."""
+        for node in self.runtime.cluster.nodes:
+            if node.node_id == failed:
+                continue
+            if node.node_id in self.runtime.homes.failed:
+                continue  # recovered in an earlier epoch
+            if not node.alive:
+                raise UnrecoverableFailure(
+                    f"node {node.node_id} failed during recovery of "
+                    f"node {failed}")
+
+    def _coordinate(self, failed: int):
+        runtime = self.runtime
+        yield self._quiescent
+        t_start = self.engine.now
+        runtime.cluster.hooks.fire(Hooks.RECOVERY_START, failed)
+        self._check_no_second_failure(failed)
+        costs = runtime.config.costs
+        net = runtime.config.network
+        mem = runtime.config.memory
+        page_size = mem.page_size
+        cost_us = 0.0
+
+        old_map = runtime.homes.copy()
+        runtime.homes.exclude(failed)
+        homes = runtime.homes
+        live = self._live_ids()
+        agents = {i: runtime.agents[i] for i in live}
+        backup_id = homes.backup_node(failed)
+        store = agents[backup_id].ckpt_store
+
+        page_copy_us = mem.copy_time_us(page_size)
+        page_xfer_us = net.wire_latency_us + net.transfer_time_us(page_size)
+
+        # -- 3a. rewind surviving nodes' un-published releases ------------
+        # Their tentative-copy updates are cancelled so re-replication
+        # below starts from clean replicas; the owners re-enter phase 1
+        # on resume and re-propagate against the new homes.
+        for node_id, agent in agents.items():
+            for fl in agent._inflight.values():
+                if fl.stage <= STAGE_POINT_B:
+                    for peer in agents.values():
+                        touched = peer.apply_undo(node_id, fl.seq)
+                        cost_us += len(touched) * page_copy_us
+                    # Re-enter phase 1 on resume; a release still in its
+                    # prep stage keeps it (its diffs are not computed yet).
+                    if fl.stage == STAGE_POINT_B:
+                        fl.stage = STAGE_PHASE1
+
+        # -- 3b. reconcile the failed node's last release ------------------
+        pending = store.pending_release(failed)
+        rolled_back_interval: Optional[int] = None
+        if pending is not None and not pending.complete:
+            # Roll back: cancel partial tentative updates everywhere.
+            for agent in agents.values():
+                touched = agent.apply_undo(failed, pending.seq)
+                cost_us += len(touched) * page_copy_us
+            if pending.pages:
+                rolled_back_interval = pending.interval
+                store.interval_mirror.get(failed, {}).pop(
+                    pending.interval, None)
+        elif pending is not None and pending.complete:
+            # Roll forward. The paper's procedure: copy the tentative
+            # copy over the committed copy. This is idempotent even if
+            # the release (and causally later ones) had long finished:
+            # at quiescence the two copies are identical except for the
+            # failed node's incompletely-applied updates. Only when the
+            # *secondary* home died with the node (tentative lost) do we
+            # fall back to the saved diffs -- safe there, because any
+            # causally later writer would still be gated on the failed
+            # node's unapplied committed-copy version and cannot have
+            # written yet.
+            saved_diffs = store.release_diffs(pending)
+            for page in pending.pages:
+                old_secondary = old_map.secondary_home(page)
+                new_primary = homes.primary_home(page)
+                if old_secondary != failed:
+                    agents[new_primary].committed.write_page(
+                        page,
+                        agents[old_secondary].tentative.read_page(page))
+                    cost_us += (page_copy_us
+                                if old_secondary == new_primary
+                                else page_xfer_us)
+                else:
+                    # Tentative copy died with the node. Apply the saved
+                    # diffs only if the committed copy has not already
+                    # absorbed this release's phase 2 (the primary's
+                    # version table is the paper's timestamp check):
+                    # re-applying a long-completed release would clobber
+                    # causally later writers.
+                    applied = agents[new_primary].page_versions.get(
+                        page, {}).get(failed, 0)
+                    if applied < pending.interval:
+                        diff = saved_diffs[page]
+                        buf = agents[new_primary].committed.page_view(page)
+                        for offset, data in diff.runs:
+                            buf[offset:offset + len(data)] = data
+                        cost_us += page_copy_us
+                agents[new_primary]._bump_version(page, failed,
+                                                  pending.interval)
+
+        # -- 4. re-replicate pages that lost one home ----------------------
+        for page in sorted(runtime.cluster.address_space.home_hint):
+            old_primary = old_map.primary_home(page)
+            old_secondary = old_map.secondary_home(page)
+            if failed not in (old_primary, old_secondary):
+                continue
+            new_primary = homes.primary_home(page)
+            new_secondary = homes.secondary_home(page)
+            if old_primary == failed:
+                # The survivor's tentative copy is the authoritative
+                # version now; promote it to the committed copy.
+                agents[new_primary].committed.write_page(
+                    page, agents[new_primary].tentative.read_page(page))
+                cost_us += page_copy_us
+            # Seed the new secondary from the (new) primary.
+            agents[new_secondary].tentative.write_page(
+                page, agents[new_primary].committed.read_page(page))
+            cost_us += (page_xfer_us if new_secondary != new_primary
+                        else page_copy_us)
+
+        # -- 5. lock reconfiguration ------------------------------------------
+        n = runtime.config.num_nodes
+        num_locks = runtime.config.num_locks
+        for agent in agents.values():
+            vec = agent.node.regions.lookup(LOCKVEC_REGION).view()
+            # Clear the failed node's slot in every lock vector (this
+            # also releases any lock it held at the time of failure).
+            vec[failed::n] = bytes(len(range(failed, len(vec), n)))
+        reseeded_locks = 0
+        for lock_id in range(num_locks):
+            old_p = old_map.lock_primary(lock_id)
+            old_s = old_map.lock_secondary(lock_id)
+            if failed not in (old_p, old_s):
+                continue
+            new_p = homes.lock_primary(lock_id)
+            new_s = homes.lock_secondary(lock_id)
+            src_vec = agents[new_p].node.regions.lookup(LOCKVEC_REGION)
+            dst_vec = agents[new_s].node.regions.lookup(LOCKVEC_REGION)
+            dst_vec.write(lock_id * n, src_vec.read(lock_id * n, n))
+            src_ts = agents[new_p].node.regions.lookup(LOCKTS_REGION)
+            dst_ts = agents[new_s].node.regions.lookup(LOCKTS_REGION)
+            dst_ts.write(lock_id * 4 * n, src_ts.read(lock_id * 4 * n, 4 * n))
+            reseeded_locks += 1
+        cost_us += reseeded_locks * (net.wire_latency_us * 0.02 + 0.5)
+
+        # -- 6. global state exchange (barrier-equivalent) ------------------
+        completed = store.last_complete_release(failed)
+        published: Dict[int, int] = {
+            i: agents[i].published_interval for i in live}
+        published[failed] = completed.interval if completed else 0
+        merged = VectorTimestamp(n)
+        for j in range(n):
+            if j in published:
+                merged[j] = published[j]
+            else:
+                # A node that failed in an earlier recovery epoch.
+                merged[j] = max(agent.ts[j] for agent in agents.values())
+
+        logs: Dict[int, Dict[int, List[int]]] = {
+            i: agents[i].interval_log.get(i, {}) for i in live}
+        failed_log = dict(store.interval_mirror.get(failed, {}))
+        if rolled_back_interval is not None:
+            failed_log.pop(rolled_back_interval, None)
+        logs[failed] = failed_log
+
+        invalidations = 0
+        for agent in agents.values():
+            for writer, wlog in logs.items():
+                if writer == agent.node_id:
+                    continue
+                for interval in sorted(wlog):
+                    if interval <= agent.ts[writer] \
+                            or interval > merged[writer]:
+                        continue
+                    for page in wlog[interval]:
+                        agent._invalidate_page(page, writer, interval)
+                        invalidations += 1
+            agent.ts.merge(merged)
+            agent.vmmc.known_dead.add(failed)
+        cost_us += invalidations * costs.invalidate_per_page_us
+        # Record version claims so fetch gating cannot deadlock on
+        # version knowledge that died with the node:
+        # * the failed node's published updates are now present at
+        #   every (new) primary home;
+        # * a page whose primary home died was promoted from the
+        #   surviving tentative copy, which holds *every* published
+        #   release of *every* writer (phase 1 completes before point
+        #   B), so the new primary may claim all merged versions.
+        for page in runtime.cluster.address_space.home_hint:
+            primary_agent = agents[homes.primary_home(page)]
+            if merged[failed] > 0:
+                primary_agent._bump_version(page, failed, merged[failed])
+            if old_map.primary_home(page) == failed:
+                for writer in range(n):
+                    if merged[writer] > 0:
+                        primary_agent._bump_version(page, writer,
+                                                    merged[writer])
+
+        # -- 6b. restore checkpoint redundancy ------------------------------
+        # A node whose backup died lost its saved thread states and
+        # release records. Carry the live release metadata over to its
+        # new backup now; the node itself re-ships current thread states
+        # with a null release as it leaves the rendezvous.
+        for node_id, agent in agents.items():
+            if old_map.backup_node(node_id) != failed:
+                continue
+            new_backup_store = agents[
+                homes.backup_node(node_id)].ckpt_store
+            for fl in agent._inflight.values():
+                new_backup_store.store_pending(node_id, ReleaseRecord(
+                    seq=fl.seq, interval=fl.interval,
+                    pages=list(fl.pages),
+                    diffs={p: d.encode() for p, d in fl.diffs.items()}))
+                if fl.stage > STAGE_POINT_B:
+                    new_backup_store.store_complete(
+                        node_id, fl.seq, agent.ts.encode())
+            agent.needs_checkpoint_reseed = True
+            cost_us += net.wire_latency_us
+
+        # Charge the aggregate reconfiguration cost before resuming.
+        yield Delay(cost_us)
+
+        # -- 7. resume the failed node's threads on the backup --------------
+        resumed = []
+        max_seq = store.max_valid_seq(failed)
+        for rec in runtime.threads:
+            if rec.current_node != failed or rec.finished:
+                continue
+            state = store.latest_thread_state(failed, rec.tid, max_seq)
+            if state is None:
+                # The node died before shipping any checkpoint: nothing
+                # it ever did was propagated (its first release never
+                # reached point B), so a fresh replay from the start is
+                # the correct resume point. Initialization writes are
+                # idempotent and completed barriers pass through via
+                # the epoch mechanism.
+                state = {}
+            rec.svm.rebind(agents[backup_id])
+            rec.clock.restart()
+            rec.ctx = AppContext(rec.svm, rec.tid,
+                                 runtime.config.total_threads,
+                                 state=state)
+            rec.current_node = backup_id
+            rec.resumptions += 1
+            resumed.append(rec)
+
+        # Immediately re-checkpoint resumed threads to the new backup so
+        # a subsequent failure of the backup node is tolerated too.
+        next_backup = homes.backup_node(backup_id)
+        ckpt_cost = 0.0
+        for rec in resumed:
+            blob = encode_thread_state(rec.ctx.state)
+            runtime.agents[next_backup].ckpt_store.store_thread_state(
+                backup_id, rec.tid, 0, blob)
+            ckpt_cost += (costs.checkpoint_us(len(blob))
+                          + net.wire_latency_us)
+        store.forget_ward(failed)
+        yield Delay(ckpt_cost)
+
+        # -- 8. release the rendezvous -----------------------------------------
+        for agent in agents.values():
+            agent.recovery_pending = None
+        self.recovered.add(failed)
+        self.active = None
+        self.recoveries += 1
+        self.last_recovery_us = self.engine.now - t_start
+        for rec in resumed:
+            runtime.spawn_thread(rec)
+            runtime.cluster.hooks.fire(Hooks.THREAD_RESUMED, backup_id,
+                                       tid=rec.tid)
+        done, self._done_event = self._done_event, None
+        self._quiescent = None
+        done.succeed(None)
+        runtime.cluster.hooks.fire(Hooks.RECOVERY_DONE, failed,
+                                   duration_us=self.last_recovery_us)
+        return None

@@ -1,0 +1,129 @@
+"""Home assignment for pages and locks, with failure reconfiguration.
+
+Every shared page has a *primary home* chosen by the application at
+allocation time (paper section 4.2); the extended protocol adds a
+*secondary home*, "initially the node immediately following the primary
+home in node order". Locks are distributed round-robin and get the same
+primary/secondary treatment.
+
+After a failure the mapping is recomputed by walking the node ring and
+skipping dead nodes -- a pure function of (original hint, failed set),
+so every live node derives the identical new map independently, and the
+two replicas of any page or lock are guaranteed to sit on distinct
+nodes under any sequence of (non-simultaneous) failures (section 4.5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable
+
+from repro.errors import ProtocolError, UnrecoverableFailure
+
+
+class HomeMap:
+    """Deterministic page/lock home directory shared by all nodes.
+
+    Each node holds its own copy; :meth:`exclude` is called with the
+    same failed node on every live node, keeping the copies identical
+    without communication.
+    """
+
+    def __init__(self, num_nodes: int, page_hint: Dict[int, int],
+                 num_locks: int) -> None:
+        if num_nodes < 1:
+            raise ProtocolError("need at least one node")
+        self.num_nodes = num_nodes
+        self.num_locks = num_locks
+        # Kept by reference: the address space registers hints as the
+        # application allocates segments, and the map sees them live.
+        self._page_hint = page_hint
+        self._failed: set[int] = set()
+
+    # -- ring walking ---------------------------------------------------------
+
+    def _next_live(self, start: int) -> int:
+        """First live node at or after ``start`` in ring order."""
+        for step in range(self.num_nodes):
+            node = (start + step) % self.num_nodes
+            if node not in self._failed:
+                return node
+        raise UnrecoverableFailure("all nodes have failed")
+
+    def live_count(self) -> int:
+        return self.num_nodes - len(self._failed)
+
+    @property
+    def failed(self) -> FrozenSet[int]:
+        return frozenset(self._failed)
+
+    def exclude(self, node: int) -> None:
+        """Mark ``node`` dead and remap everything it was hosting."""
+        if not 0 <= node < self.num_nodes:
+            raise ProtocolError(f"no node {node}")
+        self._failed.add(node)
+        if self.live_count() < 2:
+            raise UnrecoverableFailure(
+                "fewer than two live nodes remain: replication impossible")
+
+    # -- pages ----------------------------------------------------------------
+
+    def page_hint(self, page_id: int) -> int:
+        try:
+            return self._page_hint[page_id]
+        except KeyError:
+            raise ProtocolError(f"page {page_id} has no home hint "
+                                "(unallocated page?)") from None
+
+    def primary_home(self, page_id: int) -> int:
+        return self._next_live(self.page_hint(page_id))
+
+    def secondary_home(self, page_id: int) -> int:
+        primary = self.primary_home(page_id)
+        secondary = self._next_live(primary + 1)
+        if secondary == primary:
+            raise UnrecoverableFailure(
+                "cannot place page replicas on distinct nodes")
+        return secondary
+
+    def pages_homed_at(self, node: int, role: str = "primary"
+                       ) -> list[int]:
+        """All pages whose current primary/secondary home is ``node``."""
+        picker = (self.primary_home if role == "primary"
+                  else self.secondary_home)
+        return sorted(p for p in self._page_hint if picker(p) == node)
+
+    # -- locks ----------------------------------------------------------------
+
+    def lock_hint(self, lock_id: int) -> int:
+        if not 0 <= lock_id < self.num_locks:
+            raise ProtocolError(f"lock {lock_id} out of range")
+        return lock_id % self.num_nodes
+
+    def lock_primary(self, lock_id: int) -> int:
+        return self._next_live(self.lock_hint(lock_id))
+
+    def lock_secondary(self, lock_id: int) -> int:
+        primary = self.lock_primary(lock_id)
+        secondary = self._next_live(primary + 1)
+        if secondary == primary:
+            raise UnrecoverableFailure(
+                "cannot place lock replicas on distinct nodes")
+        return secondary
+
+    # -- checkpoint backups -----------------------------------------------------
+
+    def backup_node(self, node: int) -> int:
+        """Where ``node`` ships its thread checkpoints (next live node)."""
+        backup = self._next_live(node + 1)
+        if backup == node:
+            raise UnrecoverableFailure("no distinct backup node available")
+        return backup
+
+    def barrier_manager(self) -> int:
+        """The node hosting barrier managers (lowest live node)."""
+        return self._next_live(0)
+
+    def copy(self) -> "HomeMap":
+        clone = HomeMap(self.num_nodes, self._page_hint, self.num_locks)
+        clone._failed = set(self._failed)
+        return clone

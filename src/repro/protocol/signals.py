@@ -1,0 +1,20 @@
+"""Control-flow signals used by the fault-tolerant protocol.
+
+These are exceptions by mechanism but not errors: they unwind a thread
+out of whatever protocol operation it was in so it can join the global
+recovery phase (paper section 4.5). They deliberately do not derive
+from ReproError so that application-level error handling cannot swallow
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RecoverySignal(Exception):
+    """A node failure was detected; the thread must join recovery."""
+
+    def __init__(self, failed_node: Optional[int] = None) -> None:
+        self.failed_node = failed_node
+        super().__init__(f"recovery pending (failed node: {failed_node})")

@@ -1,0 +1,97 @@
+"""Vector timestamps for lazy release consistency.
+
+Each node numbers its *intervals* (segments of execution between
+releases). A vector timestamp holds, per node, the highest interval of
+that node whose updates have been applied locally. Lock grants and
+barrier releases carry timestamps; comparing the incoming timestamp
+with the local one tells the acquirer exactly which remote intervals'
+write notices it must fetch and apply (paper section 3.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import ProtocolError
+
+
+class VectorTimestamp:
+    """A per-node vector of applied interval numbers."""
+
+    __slots__ = ("_v",)
+
+    def __init__(self, num_nodes: int,
+                 values: Iterable[int] | None = None) -> None:
+        if values is not None:
+            self._v = list(values)
+            if len(self._v) != num_nodes:
+                raise ProtocolError("timestamp length mismatch")
+        else:
+            self._v = [0] * num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._v)
+
+    def __getitem__(self, node: int) -> int:
+        return self._v[node]
+
+    def __setitem__(self, node: int, value: int) -> None:
+        if value < self._v[node]:
+            raise ProtocolError(
+                f"timestamp for node {node} moving backwards: "
+                f"{self._v[node]} -> {value}")
+        self._v[node] = value
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._v)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VectorTimestamp) and self._v == other._v
+
+    def __repr__(self) -> str:
+        return f"VT{self._v}"
+
+    def copy(self) -> "VectorTimestamp":
+        return VectorTimestamp(len(self._v), self._v)
+
+    def merge(self, other: "VectorTimestamp") -> None:
+        """Pointwise max, in place."""
+        if other.num_nodes != self.num_nodes:
+            raise ProtocolError("merging timestamps of different widths")
+        self._v = [max(a, b) for a, b in zip(self._v, other._v)]
+
+    def dominates(self, other: "VectorTimestamp") -> bool:
+        """True if self >= other pointwise."""
+        return all(a >= b for a, b in zip(self._v, other._v))
+
+    def missing_intervals(self, newer: "VectorTimestamp"
+                          ) -> List[Tuple[int, int, int]]:
+        """Intervals present in ``newer`` but not here.
+
+        Returns ``(node, first, last)`` triples covering intervals
+        ``first..last`` inclusive, in node order.
+        """
+        out: List[Tuple[int, int, int]] = []
+        for node, (mine, theirs) in enumerate(zip(self._v, newer._v)):
+            if theirs > mine:
+                out.append((node, mine + 1, theirs))
+        return out
+
+    # -- wire form (4 bytes per node, as a real implementation would) ----
+
+    def encode(self) -> bytes:
+        return struct.pack(f"<{len(self._v)}I", *self._v)
+
+    @classmethod
+    def decode(cls, num_nodes: int, blob: bytes) -> "VectorTimestamp":
+        expected = 4 * num_nodes
+        if len(blob) != expected:
+            raise ProtocolError(
+                f"timestamp blob of {len(blob)} bytes, expected {expected}")
+        return cls(num_nodes, struct.unpack(f"<{num_nodes}I", blob))
+
+    @property
+    def wire_bytes(self) -> int:
+        return 4 * len(self._v)

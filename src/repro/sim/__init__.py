@@ -1,0 +1,40 @@
+"""Minimal deterministic discrete-event simulation kernel.
+
+Public surface::
+
+    from repro.sim import Engine, Process, Event, Delay, Mutex, Resource, Store
+"""
+
+from repro.sim.engine import (
+    Engine,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+)
+from repro.sim.process import (
+    Delay,
+    Event,
+    Interrupted,
+    Process,
+    ProcessKilled,
+    any_of,
+    timeout_wait,
+)
+from repro.sim.resources import Mutex, Resource, Store
+
+__all__ = [
+    "Engine",
+    "Process",
+    "ProcessKilled",
+    "Interrupted",
+    "Event",
+    "Delay",
+    "any_of",
+    "timeout_wait",
+    "Mutex",
+    "Resource",
+    "Store",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LATE",
+]

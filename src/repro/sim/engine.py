@@ -1,0 +1,135 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-list simulator: a priority queue of
+``(time, priority, sequence, action)`` entries processed in order.
+Simulated entities are :class:`~repro.sim.process.Process` objects built
+from Python generators; the engine only knows about scheduled callbacks,
+which keeps this module tiny and easy to reason about.
+
+Determinism: ties in time are broken first by an explicit priority and
+then by insertion order (a monotone sequence number), so two runs with
+the same seed produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+#: Default priority for scheduled events. Lower runs first at equal times.
+PRIORITY_NORMAL = 10
+#: Priority used by failure injection so that a node death at time t is
+#: observed by every other event scheduled at t.
+PRIORITY_URGENT = 0
+#: Priority for bookkeeping that must run after normal events at a time.
+PRIORITY_LATE = 20
+
+
+class _ScheduledEvent:
+    """A cancellable entry in the event list."""
+
+    __slots__ = ("time", "priority", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 action: Callable[[], None]) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the action from running; the heap entry is left lazily."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+
+class Engine:
+    """The simulation clock and event list.
+
+    Typical use::
+
+        engine = Engine()
+        engine.spawn(my_generator())
+        engine.run()
+        print(engine.now)
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        #: Number of events executed so far (for diagnostics / tests).
+        self.events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by library convention)."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None],
+                 priority: int = PRIORITY_NORMAL) -> _ScheduledEvent:
+        """Schedule ``action()`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        ev = _ScheduledEvent(self._now + delay, priority, next(self._seq), action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, action: Callable[[], None],
+                    priority: int = PRIORITY_NORMAL) -> _ScheduledEvent:
+        """Schedule ``action()`` at an absolute simulated time."""
+        return self.schedule(time - self._now, action, priority)
+
+    def spawn(self, generator: Any, name: str = "process") -> "Process":
+        """Create and start a :class:`Process` running ``generator``."""
+        # Imported here to avoid a circular import at module load.
+        from repro.sim.process import Process
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the list drains, ``until`` passes, or
+        ``max_events`` have executed.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` run.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and ev.time > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._heap)
+                if ev.time < self._now:
+                    raise SimulationError("event list went backwards in time")
+                self._now = ev.time
+                ev.action()
+                self.events_executed += 1
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    return
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the list is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,290 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator driven by the :class:`~repro.sim.engine.
+Engine`. The generator *yields* one of:
+
+* a ``float``/``int`` or :class:`Delay` -- suspend for that much
+  simulated time;
+* an :class:`Event` -- suspend until the event triggers; the event's
+  value is sent back into the generator (or its exception thrown).
+
+Sub-operations compose with ``yield from``, so protocol code reads like
+ordinary sequential code::
+
+    def release(self):
+        yield from self.compute_diffs()
+        yield Delay(cost)
+        yield from self.nic.remote_deposit(...)
+
+Processes can be *interrupted* (an exception is thrown at their current
+suspension point -- used for timeout-style control flow) or *killed*
+(used by fail-stop failure injection; ``finally`` blocks still run, but
+the process never resumes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, PRIORITY_NORMAL
+
+
+class ProcessKilled(BaseException):
+    """Thrown into a generator when its process is killed.
+
+    Derives from ``BaseException`` so that ``except Exception`` handlers
+    in protocol code cannot accidentally swallow a node death.
+    """
+
+
+class Interrupted(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        self.cause = cause
+        super().__init__(f"process interrupted (cause={cause!r})")
+
+
+class Delay:
+    """Yieldable: suspend the current process for ``duration`` time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative delay: {duration}")
+        self.duration = duration
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event either *succeeds* with a value or *fails* with an exception;
+    both wake every waiter (failures are re-raised inside the waiting
+    process). Late waiters on an already-settled event are woken
+    immediately.
+    """
+
+    __slots__ = ("engine", "name", "_callbacks", "_settled", "_ok", "_value")
+
+    def __init__(self, engine: Engine, name: str = "event") -> None:
+        self.engine = engine
+        self.name = name
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._settled = False
+        self._ok = False
+        self._value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._settled and self._ok
+
+    @property
+    def failed(self) -> bool:
+        return self._settled and not self._ok
+
+    @property
+    def settled(self) -> bool:
+        return self._settled
+
+    @property
+    def value(self) -> Any:
+        if not self._settled:
+            raise SimulationError(f"event {self.name!r} has not settled")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._settle(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        self._settle(False, exc)
+        return self
+
+    def _settle(self, ok: bool, value: Any) -> None:
+        if self._settled:
+            raise SimulationError(f"event {self.name!r} settled twice")
+        self._settled = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)``; called immediately if already settled."""
+        if self._settled:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def discard_callback(self, cb: Callable[["Event"], None]) -> None:
+        if cb in self._callbacks:
+            self._callbacks.remove(cb)
+
+
+def any_of(engine: Engine, events: Iterable[Event],
+           name: str = "any_of") -> Event:
+    """An event that settles when the first of ``events`` settles.
+
+    Succeeds with ``(index, value)`` of the first successful event, or
+    fails with the first failure. Remaining events are left untouched.
+    """
+    combined = Event(engine, name)
+    entries = list(events)
+
+    def make_cb(index: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            if combined.settled:
+                return
+            if ev.failed:
+                combined.fail(ev.value)
+            else:
+                combined.succeed((index, ev.value))
+        return cb
+
+    for i, ev in enumerate(entries):
+        ev.add_callback(make_cb(i))
+        if combined.settled:
+            break
+    return combined
+
+
+class Process:
+    """Drives a generator through the engine.
+
+    The process starts automatically at the current simulated time. Its
+    completion is observable through :attr:`done`, an :class:`Event` that
+    succeeds with the generator's return value.
+    """
+
+    def __init__(self, engine: Engine, generator: Generator,
+                 name: str = "process") -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Process needs a generator, got {type(generator).__name__} "
+                f"(did you forget to call the generator function?)")
+        self.engine = engine
+        self.name = name
+        self._gen = generator
+        self.done = Event(engine, f"{name}.done")
+        self._alive = True
+        self._pending_resume = None  # cancellable _ScheduledEvent
+        self._waiting_on: Optional[Event] = None
+        self._wait_cb: Optional[Callable[[Event], None]] = None
+        # Start at the current time, after already-queued events at `now`.
+        self._pending_resume = engine.schedule(0.0, lambda: self._step("send", None))
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # -- internal stepping ------------------------------------------------
+
+    def _step(self, verb: str, payload: Any) -> None:
+        if not self._alive:
+            return
+        self._pending_resume = None
+        self._waiting_on = None
+        self._wait_cb = None
+        try:
+            if verb == "send":
+                yielded = self._gen.send(payload)
+            else:
+                yielded = self._gen.throw(payload)
+        except StopIteration as stop:
+            self._alive = False
+            self.done.succeed(stop.value)
+            return
+        except ProcessKilled:
+            self._alive = False
+            if not self.done.settled:
+                self.done.fail(ProcessKilled(f"{self.name} killed"))
+            return
+        except BaseException:
+            self._alive = False
+            # Unhandled errors are bugs: surface them through engine.run().
+            raise
+        self._suspend_on(yielded)
+
+    def _suspend_on(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            yielded = Delay(float(yielded))
+        if isinstance(yielded, Delay):
+            self._pending_resume = self.engine.schedule(
+                yielded.duration, lambda: self._step("send", None))
+            return
+        if isinstance(yielded, Event):
+            self._waiting_on = yielded
+
+            def cb(ev: Event, _self: "Process" = self) -> None:
+                if not _self._alive or _self._waiting_on is not ev:
+                    return
+                # Resume via the event list so wakeups at equal times keep
+                # deterministic FIFO order.
+                if ev.failed:
+                    _self._pending_resume = _self.engine.schedule(
+                        0.0, lambda: _self._step("throw", ev.value))
+                else:
+                    _self._pending_resume = _self.engine.schedule(
+                        0.0, lambda: _self._step("send", ev.value))
+
+            self._wait_cb = cb
+            yielded.add_callback(cb)
+            return
+        raise SimulationError(
+            f"{self.name} yielded unsupported object {yielded!r}")
+
+    # -- external control -------------------------------------------------
+
+    def _detach(self) -> None:
+        if self._pending_resume is not None:
+            self._pending_resume.cancel()
+            self._pending_resume = None
+        if self._waiting_on is not None and self._wait_cb is not None:
+            self._waiting_on.discard_callback(self._wait_cb)
+        self._waiting_on = None
+        self._wait_cb = None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its wait point."""
+        if not self._alive:
+            return
+        self._detach()
+        exc = Interrupted(cause)
+        self._pending_resume = self.engine.schedule(
+            0.0, lambda: self._step("throw", exc))
+
+    def kill(self) -> None:
+        """Fail-stop the process immediately (``finally`` blocks run)."""
+        if not self._alive:
+            return
+        self._detach()
+        self._alive = False
+        try:
+            self._gen.throw(ProcessKilled(f"{self.name} killed"))
+        except (ProcessKilled, StopIteration):
+            pass
+        except BaseException:
+            # A generator that turns a kill into another exception is a
+            # bug, but must not let the node death crash the simulation.
+            pass
+        if not self.done.settled:
+            self.done.fail(ProcessKilled(f"{self.name} killed"))
+
+
+def timeout_wait(engine: Engine, event: Event, timeout: float):
+    """Wait on ``event`` for at most ``timeout`` time.
+
+    A generator helper (use with ``yield from``). Returns ``(True,
+    value)`` if the event succeeded in time, ``(False, None)`` on
+    timeout. Event *failures* are re-raised.
+    """
+    timer = Event(engine, "timeout")
+    handle = engine.schedule(timeout, lambda: timer.succeed(None))
+    index, value = yield any_of(engine, [event, timer], "timeout_wait")
+    if index == 0:
+        handle.cancel()
+        return True, value
+    return False, None

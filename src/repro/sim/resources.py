@@ -1,0 +1,190 @@
+"""Shared resources for simulated processes.
+
+Three primitives cover every need in the library:
+
+* :class:`Mutex` -- FIFO mutual exclusion (intra-node protocol locks,
+  serialized releases).
+* :class:`Resource` -- counted capacity with FIFO queuing (memory-bus
+  and DMA-engine occupancy).
+* :class:`Store` -- an unbounded-or-bounded FIFO of items (NIC post
+  queues, message delivery queues).
+
+All waiting is expressed through :class:`~repro.sim.process.Event`
+objects, so ``yield mutex.acquire()`` reads naturally inside process
+generators.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.process import Event
+
+
+class Mutex:
+    """FIFO mutual exclusion lock for simulated processes.
+
+    ``yield mutex.acquire()`` suspends until the lock is granted;
+    ``mutex.release()`` hands it to the next waiter (immediately, at the
+    current simulated time).
+    """
+
+    def __init__(self, engine: Engine, name: str = "mutex") -> None:
+        self.engine = engine
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Event:
+        ev = Event(self.engine, f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def release(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unlocked mutex {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._locked = False
+
+
+class Resource:
+    """Counted resource with FIFO queuing.
+
+    Used for occupancy modelling: a DMA engine is ``Resource(capacity=1)``,
+    a memory bus that admits one transfer at a time likewise. Usage::
+
+        yield bus.acquire()
+        try:
+            yield Delay(transfer_time)
+        finally:
+            bus.release()
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1,
+                 name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        ev = Event(self.engine, f"{self.name}.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO store of items with optional bounded capacity.
+
+    ``put`` returns an event that succeeds once the item is accepted
+    (immediately if there is room, otherwise when space frees up --
+    this is the NIC post-queue back-pressure the paper describes).
+    ``get`` returns an event that succeeds with the oldest item.
+    """
+
+    def __init__(self, engine: Engine, capacity: Optional[int] = None,
+                 name: str = "store") -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1: {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.engine, f"{self.name}.put")
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif not self.is_full:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        ev = Event(self.engine, f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            put_ev, item = self._putters.popleft()
+            self._items.append(item)
+            put_ev.succeed(None)
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items (used at node failure)."""
+        items = list(self._items)
+        self._items.clear()
+        while self._putters:
+            self._admit_putter()
+        return items

@@ -1,0 +1,170 @@
+"""Host-level unit tests for the applications' pure helpers (ownership
+maps, reference computations, geometry) -- no simulation involved."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FFT,
+    LU,
+    RadixSort,
+    Volrend,
+    WaterNsquared,
+    WaterSpatial,
+)
+from repro.errors import ApplicationError
+
+
+# -- FFT ---------------------------------------------------------------------
+
+def test_fft_requires_power_of_four_points():
+    FFT(points=1024)  # 32^2, ok
+    with pytest.raises(ApplicationError):
+        FFT(points=1000)
+    with pytest.raises(ApplicationError):
+        FFT(points=2048)  # side not integral
+
+
+def test_fft_row_blocks_partition_rows():
+    fft = FFT(points=1024)
+    rows = set()
+    for tid in range(8):
+        block = fft._row_block(tid, 8)
+        assert not rows & set(block)
+        rows |= set(block)
+    assert rows == set(range(fft.side))
+
+
+# -- LU ----------------------------------------------------------------------
+
+def test_lu_owner_scatter_covers_all_threads():
+    lu = LU(n=128, block=16)
+    owners = {lu.owner(i, j, 8) for i in range(lu.nb)
+              for j in range(lu.nb)}
+    assert owners == set(range(8))
+
+
+def test_lu_owner_deterministic_2d_scatter():
+    lu = LU(n=128, block=16)
+    # 8 threads -> 2x4 grid: owner repeats with period (2, 4).
+    assert lu.owner(0, 0, 8) == lu.owner(2, 4, 8)
+    assert lu.owner(1, 3, 8) == lu.owner(3, 7, 8)
+
+
+def test_lu_rejects_nondividing_block():
+    with pytest.raises(ApplicationError):
+        LU(n=100, block=16)
+
+
+def test_lu_matrix_is_diagonally_dominant():
+    lu = LU(n=64, block=16)
+    a = lu._matrix()
+    diag = np.abs(np.diag(a))
+    off = np.abs(a).sum(axis=1) - diag
+    assert (diag > off * 0.5).all()  # strongly weighted diagonal
+
+
+# -- Water -------------------------------------------------------------------
+
+def test_water_pair_force_antisymmetric():
+    pi = np.array([1.0, 2.0, 3.0])
+    pj = np.array([4.0, 0.0, 1.0])
+    f_ij = WaterNsquared.pair_force(pi, pj)
+    f_ji = WaterNsquared.pair_force(pj, pi)
+    assert np.allclose(f_ij, -f_ji)
+
+
+def test_water_serial_reference_conserves_momentum():
+    wl = WaterNsquared(molecules=16, steps=2)
+    pos0, vel0 = wl._initial_state()
+    pos, vel = wl._serial_reference()
+    # Pairwise antisymmetric forces: total momentum change is zero.
+    assert np.allclose(vel.sum(axis=0), vel0.sum(axis=0), atol=1e-9)
+
+
+def test_water_pairs_cover_each_unordered_pair_once():
+    wl = WaterNsquared(molecules=12, steps=1)
+
+    class Ctx:
+        nthreads = 4
+
+    seen = set()
+    for tid in range(4):
+        ctx = Ctx()
+        ctx.tid = tid
+        for pair in wl._my_pairs(ctx):
+            assert pair not in seen
+            seen.add(pair)
+    assert len(seen) == 12 * 11 // 2
+
+
+def test_spatial_band_layout_partitions_molecules():
+    wl = WaterSpatial(molecules=40, steps=1)
+    order, ranges, pos, _vel = wl._band_layout(4)
+    assert sorted(order.tolist()) == list(range(40))
+    covered = []
+    for lo, hi in ranges:
+        covered.extend(range(lo, hi))
+    assert covered == list(range(40))
+    # Bands are sorted by x coordinate.
+    for band, (lo, hi) in enumerate(ranges):
+        for m in range(lo, hi):
+            assert wl._band_of(pos[m][0], 4) == band
+
+
+# -- Radix -------------------------------------------------------------------
+
+def test_radix_key_generation_deterministic():
+    a = RadixSort(keys=128, seed=5)._keys()
+    b = RadixSort(keys=128, seed=5)._keys()
+    assert np.array_equal(a, b)
+    c = RadixSort(keys=128, seed=6)._keys()
+    assert not np.array_equal(a, c)
+
+
+def test_radix_passes_cover_key_bits():
+    wl = RadixSort(keys=128, radix_bits=4, key_bits=16)
+    assert wl.passes == 4
+    assert wl.radix == 16
+
+
+def test_radix_result_segment_parity():
+    even = RadixSort(keys=128, radix_bits=4, key_bits=8)  # 2 passes
+    assert even.passes == 2
+    # Even passes: keys end up back in the src segment.
+    even.src, even.dst = "A", "B"
+    assert even._result_segment() == "A"
+
+
+# -- Volrend -----------------------------------------------------------------
+
+def test_volrend_tile_geometry():
+    wl = Volrend(image_size=16, tile=4)
+    assert wl.ntiles == 16
+    with pytest.raises(ApplicationError):
+        Volrend(image_size=10, tile=4)
+
+
+def test_volrend_render_deterministic_and_nontrivial():
+    wl = Volrend(image_size=8, tile=4, volume_size=8)
+    volume = wl._volume_data()
+    a = wl._render_tile(volume, 5)
+    b = wl._render_tile(volume, 5)
+    assert np.array_equal(a, b)
+    # The synthetic head produces non-uniform output.
+    full = [wl._render_tile(volume, t) for t in range(wl.ntiles)]
+    assert np.std(np.stack(full)) > 0
+
+
+def test_volrend_tile_addrs_are_row_contiguous():
+    wl = Volrend(image_size=8, tile=4, volume_size=8)
+
+    class Seg:
+        @staticmethod
+        def addr(off):
+            return off
+
+    wl.image = Seg()
+    addrs = list(wl._tile_addrs(1))  # tile (0, 1)
+    assert [a for a, _py in addrs] == [
+        (row * 8 + 4) * 8 for row in range(4)]

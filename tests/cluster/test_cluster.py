@@ -1,0 +1,172 @@
+"""Unit tests for the cluster hardware model."""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams
+from repro.cluster import Cluster, FailureInjector
+from repro.errors import RemoteNodeFailure, SimulationError
+from repro.sim import Delay
+
+
+def small_config(**kw):
+    defaults = dict(num_nodes=4, threads_per_node=1, shared_pages=16,
+                    seed=7)
+    defaults.update(kw)
+    return ClusterConfig(**defaults)
+
+
+def test_cluster_builds_requested_nodes():
+    cluster = Cluster(small_config())
+    assert len(cluster.nodes) == 4
+    assert cluster.live_nodes() == [0, 1, 2, 3]
+
+
+def test_nodes_can_communicate_through_fabric():
+    cluster = Cluster(small_config())
+    region = cluster.node(1).regions.export("buf", 128)
+
+    def sender():
+        yield from cluster.node(0).vmmc.remote_deposit(
+            1, "buf", 0, b"ping", wait=True)
+
+    cluster.node(0).spawn(sender(), "sender")
+    cluster.run()
+    assert region.read(0, 4) == b"ping"
+
+
+def test_fail_node_kills_its_processes():
+    cluster = Cluster(small_config())
+    trace = []
+
+    def worker():
+        try:
+            yield Delay(100.0)
+            trace.append("survived")
+        finally:
+            trace.append("cleanup")
+
+    cluster.node(2).spawn(worker(), "worker")
+    cluster.engine.schedule(10.0, lambda: cluster.fail_node(2))
+    cluster.run()
+    assert trace == ["cleanup"]
+    assert cluster.live_nodes() == [0, 1, 3]
+
+
+def test_spawn_on_dead_node_rejected():
+    cluster = Cluster(small_config())
+    cluster.fail_node(1)
+    with pytest.raises(SimulationError):
+        cluster.node(1).spawn(iter(()), "late")
+
+
+def test_communication_with_failed_node_errors():
+    cluster = Cluster(small_config())
+    cluster.node(3).regions.export("buf", 128)
+    outcome = []
+
+    def sender():
+        yield Delay(5.0)
+        try:
+            yield from cluster.node(0).vmmc.remote_deposit(
+                3, "buf", 0, b"x", wait=True)
+        except RemoteNodeFailure as exc:
+            outcome.append(exc.node_id)
+
+    cluster.node(0).spawn(sender(), "sender")
+    cluster.engine.schedule(1.0, lambda: cluster.fail_node(3))
+    cluster.run()
+    assert outcome == [3]
+
+
+def test_mem_copy_charges_time():
+    config = small_config()
+    cluster = Cluster(config)
+    times = []
+
+    def copier():
+        yield from cluster.node(0).mem_copy(4096)
+        times.append(cluster.now)
+
+    cluster.node(0).spawn(copier(), "copier")
+    cluster.run()
+    assert times[0] == pytest.approx(4096 / 400.0)
+
+
+def test_bus_contention_serializes_copies():
+    config = small_config()
+    cluster = Cluster(config)
+    times = []
+
+    def copier(tag):
+        yield from cluster.node(0).mem_copy(4000)
+        times.append(cluster.now)
+
+    cluster.node(0).spawn(copier("a"), "a")
+    cluster.node(0).spawn(copier("b"), "b")
+    cluster.run()
+    # Second copy waits for the first: 10us then 20us.
+    assert times == [pytest.approx(10.0), pytest.approx(20.0)]
+
+
+def test_bus_contention_can_be_disabled():
+    config = small_config(
+        memory=MemoryParams(model_bus_contention=False))
+    cluster = Cluster(config)
+    times = []
+
+    def copier():
+        yield from cluster.node(0).mem_copy(4000)
+        times.append(cluster.now)
+
+    cluster.node(0).spawn(copier(), "a")
+    cluster.node(0).spawn(copier(), "b")
+    cluster.run()
+    assert times == [pytest.approx(10.0), pytest.approx(10.0)]
+
+
+def test_failure_injector_time_based():
+    cluster = Cluster(small_config())
+    injector = FailureInjector(cluster)
+    record = injector.kill_at_time(1, 42.0)
+    cluster.run()
+    assert record.fired_at == 42.0
+    assert not cluster.node(1).alive
+
+
+def test_failure_injector_hook_based():
+    cluster = Cluster(small_config())
+    injector = FailureInjector(cluster)
+    record = injector.kill_on_hook(2, "my_hook", occurrence=3)
+
+    def firer():
+        for _ in range(5):
+            yield Delay(10.0)
+            cluster.hooks.fire("my_hook", 2)
+
+    cluster.node(0).spawn(firer(), "firer")  # fired on behalf of node 2
+    cluster.run()
+    assert record.fired_at == pytest.approx(30.0)
+    assert not cluster.node(2).alive
+
+
+def test_hook_injection_ignores_other_nodes():
+    cluster = Cluster(small_config())
+    injector = FailureInjector(cluster)
+    record = injector.kill_on_hook(2, "my_hook", occurrence=1)
+
+    def firer():
+        yield Delay(1.0)
+        cluster.hooks.fire("my_hook", 0)  # different node: no kill
+
+    cluster.node(0).spawn(firer(), "firer")
+    cluster.run()
+    assert record.fired_at is None
+    assert cluster.node(2).alive
+
+
+def test_deterministic_node_rngs():
+    c1 = Cluster(small_config())
+    c2 = Cluster(small_config())
+    assert [n.rng.random() for n in c1.nodes] == \
+        [n.rng.random() for n in c2.nodes]
+    assert c1.node(0).rng.random() != c1.node(1).rng.random()

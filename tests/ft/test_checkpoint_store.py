@@ -1,0 +1,84 @@
+"""Unit tests for the backup-side checkpoint store (section 4.5.3)."""
+
+import pytest
+
+from repro.protocol.ft.checkpoint import (
+    CheckpointStore,
+    ReleaseRecord,
+    encode_thread_state,
+)
+
+
+def test_double_buffering_keeps_previous_state():
+    store = CheckpointStore(0)
+    store.store_thread_state(1, 0, seq=5, blob=encode_thread_state({"i": 5}))
+    store.store_thread_state(1, 0, seq=6, blob=encode_thread_state({"i": 6}))
+    # Both slots alive: max_seq selection can reach either.
+    assert store.latest_thread_state(1, 0, max_seq=6) == {"i": 6}
+    assert store.latest_thread_state(1, 0, max_seq=5) == {"i": 5}
+
+
+def test_slot_overwrite_follows_parity():
+    store = CheckpointStore(0)
+    store.store_thread_state(1, 0, seq=5, blob=encode_thread_state({"i": 5}))
+    store.store_thread_state(1, 0, seq=6, blob=encode_thread_state({"i": 6}))
+    store.store_thread_state(1, 0, seq=7, blob=encode_thread_state({"i": 7}))
+    # seq 5 (same parity as 7) was overwritten; seq 6 survives.
+    assert store.latest_thread_state(1, 0, max_seq=6) == {"i": 6}
+    assert store.latest_thread_state(1, 0, max_seq=5) is None
+
+
+def test_incomplete_release_excludes_its_states():
+    """Section 4.5.3: states saved during a release that never reached
+    point B must not be used."""
+    store = CheckpointStore(0)
+    store.store_thread_state(2, 3, seq=1, blob=encode_thread_state({"a": 1}))
+    store.store_pending(2, ReleaseRecord(seq=1, interval=1, pages=[4]))
+    # No "complete" record: only seq 0 states (none here) are valid.
+    assert store.max_valid_seq(2) == 0
+    assert store.latest_thread_state(2, 3, store.max_valid_seq(2)) is None
+    # After point B the same states become valid.
+    store.store_complete(2, seq=1, ts_blob=b"\x01\x00\x00\x00")
+    assert store.max_valid_seq(2) == 1
+    assert store.latest_thread_state(2, 3, 1) == {"a": 1}
+
+
+def test_pending_and_complete_records():
+    store = CheckpointStore(0)
+    record = ReleaseRecord(seq=3, interval=7, pages=[1, 2],
+                           diffs={1: b"d1", 2: b"d2"})
+    store.store_pending(4, record)
+    assert store.pending_release(4) is record
+    assert not record.complete
+    assert store.last_complete_release(4) is None
+    store.store_complete(4, seq=3, ts_blob=b"ts")
+    assert record.complete
+    assert store.last_complete_release(4) is record
+
+
+def test_complete_with_stale_seq_ignored():
+    store = CheckpointStore(0)
+    store.store_pending(4, ReleaseRecord(seq=3, interval=7, pages=[]))
+    store.store_complete(4, seq=2, ts_blob=b"old")  # stale point B
+    assert store.last_complete_release(4) is None
+
+
+def test_interval_mirror_accumulates():
+    store = CheckpointStore(0)
+    store.store_pending(1, ReleaseRecord(seq=1, interval=4, pages=[7, 8]))
+    store.store_pending(1, ReleaseRecord(seq=2, interval=5, pages=[9]))
+    assert store.interval_mirror[1] == {4: [7, 8], 5: [9]}
+
+
+def test_forget_ward_drops_thread_states_keeps_mirror():
+    store = CheckpointStore(0)
+    store.store_thread_state(1, 0, seq=1, blob=encode_thread_state({}))
+    store.store_pending(1, ReleaseRecord(seq=1, interval=1, pages=[2]))
+    store.forget_ward(1)
+    assert store.latest_thread_state(1, 0) is None
+    assert store.pending_release(1) is None
+    assert 1 in store.interval_mirror
+
+
+def test_max_valid_seq_no_records():
+    assert CheckpointStore(0).max_valid_seq(9) == 0

@@ -1,0 +1,97 @@
+"""Endurance: multiple successive failures down to two nodes.
+
+The paper tolerates "multiple, but not simultaneous" failures provided
+the system recovers in between. We shrink a 6-node cluster failure by
+failure to its 2-node minimum, arming each next death only after the
+previous recovery completes, and the application result must survive
+all of it.
+"""
+
+import pytest
+
+from repro.cluster import FailureInjector, Hooks
+from repro.config import ClusterConfig, MemoryParams, ProtocolParams
+from repro.errors import UnrecoverableFailure
+from repro.harness import SvmRuntime
+from tests.protocol.test_base_integration import MigratoryData
+
+
+def make_runtime(num_nodes=6, rounds=24, seed=4):
+    config = ClusterConfig(
+        num_nodes=num_nodes, threads_per_node=1, shared_pages=64,
+        num_locks=64, num_barriers=8, seed=seed,
+        memory=MemoryParams(page_size=512),
+        protocol=ProtocolParams(variant="ft", lock_algorithm="polling"))
+    return SvmRuntime(config, MigratoryData(rounds=rounds))
+
+
+def test_four_successive_failures_down_to_two_nodes():
+    runtime = make_runtime(num_nodes=6, rounds=24)
+    injector = FailureInjector(runtime.cluster)
+    victims = [5, 4, 3, 2]
+    state = {"next": 0}
+
+    def arm_next(node_id, **info):
+        if state["next"] < len(victims):
+            victim = victims[state["next"]]
+            state["next"] += 1
+            injector.kill_on_hook(victim, Hooks.LOCK_ACQUIRED,
+                                  occurrence=1, delay=0.5)
+
+    runtime.cluster.hooks.on(Hooks.RECOVERY_DONE, arm_next)
+    # Arm the first failure directly.
+    arm_next(None)
+
+    result = runtime.run()  # verifies the migratory sum
+    assert result.recoveries == 4
+    assert sorted(runtime.cluster.live_nodes()) == [0, 1]
+    # All four victims' threads migrated (possibly repeatedly, when a
+    # backup node subsequently died too).
+    for victim in victims:
+        assert runtime.threads[victim].resumptions >= 1
+
+
+def test_failure_below_two_nodes_unrecoverable():
+    """Killing down past the replication minimum must be rejected."""
+    runtime = make_runtime(num_nodes=3, rounds=18)
+    injector = FailureInjector(runtime.cluster)
+    victims = [2, 1]
+    state = {"next": 0}
+
+    def arm_next(node_id, **info):
+        if state["next"] < len(victims):
+            victim = victims[state["next"]]
+            state["next"] += 1
+            injector.kill_on_hook(victim, Hooks.LOCK_ACQUIRED,
+                                  occurrence=1, delay=0.5)
+
+    runtime.cluster.hooks.on(Hooks.RECOVERY_DONE, arm_next)
+    arm_next(None)
+    with pytest.raises(UnrecoverableFailure):
+        runtime.run()
+
+
+def test_backup_chain_failure():
+    """Kill a node, then kill the backup that adopted its threads: the
+    twice-migrated threads must still finish correctly."""
+    runtime = make_runtime(num_nodes=5, rounds=20)
+    injector = FailureInjector(runtime.cluster)
+    # Node 2 dies; its threads land on node 3 (next live). Then node 3
+    # dies, carrying both its own thread and the adopted one.
+    injector.kill_on_hook(2, Hooks.LOCK_ACQUIRED, occurrence=2, delay=0.5)
+    armed = {"done": False}
+
+    def arm_second(node_id, **info):
+        if not armed["done"]:
+            armed["done"] = True
+            injector.kill_on_hook(3, Hooks.LOCK_ACQUIRED,
+                                  occurrence=1, delay=0.5)
+
+    runtime.cluster.hooks.on(Hooks.RECOVERY_DONE, arm_second)
+    result = runtime.run()
+    assert result.recoveries == 2
+    assert runtime.threads[2].resumptions == 2
+    assert runtime.threads[3].resumptions == 1
+    # Both now live on the same surviving node.
+    assert runtime.threads[2].current_node == \
+        runtime.threads[3].current_node

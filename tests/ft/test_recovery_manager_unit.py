@@ -1,0 +1,70 @@
+"""Direct tests of RecoveryManager bookkeeping (quiescence, stale
+signals, double reports)."""
+
+import pytest
+
+from repro.config import ClusterConfig, MemoryParams, ProtocolParams
+from repro.errors import RecoveryError, UnrecoverableFailure
+from repro.harness import SvmRuntime
+from tests.protocol.test_base_integration import MigratoryData
+
+
+def make_runtime(num_nodes=4):
+    config = ClusterConfig(
+        num_nodes=num_nodes, threads_per_node=1, shared_pages=32,
+        num_locks=16, num_barriers=8, seed=5,
+        memory=MemoryParams(page_size=512),
+        protocol=ProtocolParams(variant="ft"))
+    return SvmRuntime(config, MigratoryData(rounds=4))
+
+
+def test_report_of_live_node_rejected():
+    runtime = make_runtime()
+    with pytest.raises(RecoveryError):
+        runtime.recovery_manager.report_failure(2)
+
+
+def test_double_report_same_node_is_idempotent():
+    runtime = make_runtime()
+    runtime.cluster.fail_node(2)
+    runtime.recovery_manager.report_failure(2)
+    runtime.recovery_manager.report_failure(2)  # no error
+    assert runtime.recovery_manager.active == 2
+
+
+def test_report_of_second_node_during_recovery_unrecoverable():
+    runtime = make_runtime()
+    runtime.cluster.fail_node(2)
+    runtime.recovery_manager.report_failure(2)
+    runtime.cluster.fail_node(3)
+    with pytest.raises(UnrecoverableFailure):
+        runtime.recovery_manager.report_failure(3)
+
+
+def test_stale_report_after_recovery_is_noop():
+    """Once a node is recovered, late failure signals about it must
+    not start a second recovery."""
+    from repro.cluster import FailureInjector, Hooks
+    runtime = make_runtime()
+    FailureInjector(runtime.cluster).kill_on_hook(
+        2, Hooks.LOCK_ACQUIRED, occurrence=1, delay=0.3)
+    result = runtime.run()
+    assert result.recoveries == 1
+    manager = runtime.recovery_manager
+    manager.report_failure(2)  # stale: already recovered
+    assert manager.active is None
+    assert manager.recoveries == 1
+
+
+def test_required_parkers_excludes_victim_and_finished():
+    runtime = make_runtime()
+    runtime.workload.setup(runtime)
+    runtime._create_threads()
+    manager = runtime.recovery_manager
+    runtime.cluster.fail_node(2)
+    manager.report_failure(2)
+    required = manager._required_parkers()
+    assert 2 not in required
+    assert set(required) == {0, 1, 3}
+    runtime.threads[1].finished = True
+    assert set(manager._required_parkers()) == {0, 3}

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "FFT" in out
+    assert "WaterNsq" in out
+
+
+def test_run_command_test_scale(capsys):
+    assert main(["run", "Volrend", "--scale", "test",
+                 "--variant", "ft"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated execution time" in out
+    assert "checkpoints" in out
+
+
+def test_run_command_base_variant(capsys):
+    assert main(["run", "Volrend", "--scale", "test",
+                 "--variant", "base"]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoints 0" in out
+
+
+def test_recover_command(capsys):
+    assert main(["recover", "--app", "Volrend", "--scale", "test",
+                 "--victim", "2", "--occurrence", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "recoveries: 1" in out
+    assert "recovery_done" in out
+
+
+def test_figures_command(tmp_path, capsys):
+    assert main(["figures", "--scale", "test",
+                 "--output", str(tmp_path)]) == 0
+    for name in ("fig7", "fig8", "fig9", "fig10"):
+        text = (tmp_path / f"{name}.txt").read_text()
+        assert "FFT/0" in text
+        assert "FFT/1" in text
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "NotAnApp"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_profile_command(capsys):
+    assert main(["profile", "Volrend", "--scale", "test"]) == 0
+    out = capsys.readouterr().out
+    assert "sharing profile" in out
+    assert "lock_wait" in out

@@ -1,0 +1,92 @@
+"""Tests for declarative fault plans."""
+
+import random
+
+import pytest
+
+from repro.cluster import Hooks
+from repro.config import ClusterConfig, MemoryParams, ProtocolParams
+from repro.errors import ConfigError
+from repro.harness import SvmRuntime
+from repro.harness.faultplan import FailureSpec, FaultPlan
+from tests.protocol.test_base_integration import MigratoryData
+
+
+def ft_runtime(rounds=12, num_nodes=4, seed=3):
+    config = ClusterConfig(
+        num_nodes=num_nodes, threads_per_node=1, shared_pages=64,
+        num_locks=64, num_barriers=8, seed=seed,
+        memory=MemoryParams(page_size=512),
+        protocol=ProtocolParams(variant="ft"))
+    return SvmRuntime(config, MigratoryData(rounds=rounds))
+
+
+def test_spec_requires_exactly_one_trigger():
+    with pytest.raises(ConfigError):
+        FailureSpec(victim=1)
+    with pytest.raises(ConfigError):
+        FailureSpec(victim=1, at_time=5.0, hook=Hooks.LOCK_ACQUIRED)
+    FailureSpec(victim=1, at_time=5.0)
+    FailureSpec(victim=1, hook=Hooks.LOCK_ACQUIRED)
+
+
+def test_describe_is_readable():
+    plan = FaultPlan([
+        FailureSpec(victim=2, hook=Hooks.RELEASE_COMMITTED,
+                    occurrence=3, delay=1.0),
+        FailureSpec(victim=1, at_time=99.0, chained=True),
+    ])
+    text = plan.describe()
+    assert "kill node 2" in text
+    assert "chained" in text
+
+
+def test_single_plan_applies_and_recovers():
+    runtime = ft_runtime()
+    records = FaultPlan.single(
+        2, Hooks.LOCK_ACQUIRED, occurrence=2, delay=0.4).apply(runtime)
+    result = runtime.run()
+    assert records[0].fired_at is not None
+    assert result.recoveries == 1
+
+
+def test_chained_plan_waits_for_recovery():
+    runtime = ft_runtime(rounds=16)
+    plan = FaultPlan([
+        FailureSpec(victim=3, hook=Hooks.LOCK_ACQUIRED, occurrence=2,
+                    delay=0.4),
+        FailureSpec(victim=2, hook=Hooks.LOCK_ACQUIRED, occurrence=1,
+                    delay=0.4, chained=True),
+    ])
+    plan.apply(runtime)
+    result = runtime.run()
+    assert result.recoveries == 2
+    assert sorted(runtime.cluster.live_nodes()) == [0, 1]
+
+
+def test_random_plan_reproducible_and_bounded():
+    a = FaultPlan.random_plan(random.Random(7), num_nodes=6, failures=3)
+    b = FaultPlan.random_plan(random.Random(7), num_nodes=6, failures=3)
+    assert a.specs == b.specs
+    victims = [s.victim for s in a.specs]
+    assert len(set(victims)) == len(victims)
+    # First immediate, rest chained.
+    assert not a.specs[0].chained
+    assert all(s.chained for s in a.specs[1:])
+
+
+def test_random_plan_respects_spares_and_minimum():
+    plan = FaultPlan.random_plan(random.Random(1), num_nodes=4,
+                                 failures=5, spare=(0,))
+    victims = {s.victim for s in plan.specs}
+    assert 0 not in victims
+    assert len(victims) <= 2  # 4 nodes: at most 2 may die
+
+
+def test_random_plan_end_to_end():
+    runtime = ft_runtime(rounds=16, num_nodes=5, seed=8)
+    plan = FaultPlan.random_plan(random.Random(11), num_nodes=5,
+                                 failures=2)
+    plan.apply(runtime)
+    result = runtime.run()  # verify() is the oracle
+    assert result.recoveries <= 2

@@ -1,0 +1,110 @@
+"""Unit tests for the shared address space and home policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory import AddressSpace
+
+
+def make_space(pages=64, page_size=128, nodes=4):
+    return AddressSpace(pages, page_size, nodes)
+
+
+def test_alloc_is_page_aligned_and_sequential():
+    space = make_space()
+    a = space.alloc("a", 100)   # < 1 page -> 1 page
+    b = space.alloc("b", 129)   # > 1 page -> 2 pages
+    assert a.base_page == 0 and a.num_pages == 1
+    assert b.base_page == 1 and b.num_pages == 2
+    assert space.pages_allocated == 3
+
+
+def test_alloc_duplicate_name_rejected():
+    space = make_space()
+    space.alloc("a", 128)
+    with pytest.raises(MemoryError_):
+        space.alloc("a", 128)
+
+
+def test_alloc_exhaustion():
+    space = make_space(pages=2)
+    space.alloc("a", 2 * 128)
+    with pytest.raises(MemoryError_):
+        space.alloc("b", 1)
+
+
+def test_block_home_policy_splits_contiguously():
+    space = make_space(pages=8, nodes=4)
+    seg = space.alloc("data", 8 * 128, home="block")
+    homes = [space.home_hint[seg.page(i)] for i in range(8)]
+    assert homes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_round_robin_home_policy():
+    space = make_space(pages=8, nodes=4)
+    seg = space.alloc("data", 8 * 128, home="round_robin")
+    homes = [space.home_hint[seg.page(i)] for i in range(8)]
+    assert homes == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_fixed_home_policy():
+    space = make_space()
+    seg = space.alloc("data", 3 * 128, home=2)
+    assert all(space.home_hint[seg.page(i)] == 2 for i in range(3))
+
+
+def test_callable_home_policy():
+    space = make_space(pages=4, nodes=4)
+    seg = space.alloc("data", 4 * 128, home=lambda i: 3 - i)
+    assert [space.home_hint[seg.page(i)] for i in range(4)] == [3, 2, 1, 0]
+
+
+def test_bad_home_policy_rejected():
+    space = make_space(nodes=2)
+    with pytest.raises(MemoryError_):
+        space.alloc("data", 128, home=5)
+    with pytest.raises(MemoryError_):
+        space.alloc("data2", 128, home="nonsense")
+
+
+def test_locate_and_addr():
+    space = make_space()
+    seg = space.alloc("data", 4 * 128)
+    addr = seg.addr(300)
+    page, off = space.locate(addr)
+    assert page == seg.base_page + 2
+    assert off == 44
+
+
+def test_locate_outside_space_rejected():
+    space = make_space(pages=2)
+    with pytest.raises(MemoryError_):
+        space.locate(2 * 128)
+
+
+def test_segment_addr_bounds():
+    space = make_space()
+    seg = space.alloc("data", 128)
+    with pytest.raises(MemoryError_):
+        seg.addr(128)
+
+
+def test_span_pages():
+    space = make_space()
+    seg = space.alloc("data", 4 * 128)
+    assert space.span_pages(seg.addr(0), 128) == [seg.base_page]
+    assert space.span_pages(seg.addr(100), 60) == [seg.base_page,
+                                                   seg.base_page + 1]
+
+
+@given(st.integers(1, 8 * 128 - 1), st.integers(1, 64))
+def test_property_span_pages_cover_exactly_the_range(addr, size):
+    space = AddressSpace(16, 128, 4)
+    space.alloc("data", 16 * 128)
+    size = min(size, 16 * 128 - addr)
+    pages = space.span_pages(addr, size)
+    first, _ = space.locate(addr)
+    last, _ = space.locate(addr + size - 1)
+    assert pages == list(range(first, last + 1))

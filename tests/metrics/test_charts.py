@@ -1,0 +1,66 @@
+"""Unit tests for the text chart renderer."""
+
+import pytest
+
+from repro.metrics import overhead_bars, stacked_bars
+
+
+ROWS = {
+    "FFT/0": {"compute": 30.0, "data_wait": 50.0, "lock": 0.0,
+              "barrier": 20.0},
+    "FFT/1": {"compute": 30.0, "data_wait": 55.0, "lock": 0.0,
+              "barrier": 40.0},
+}
+COMPONENTS = ("compute", "data_wait", "lock", "barrier")
+
+
+def test_stacked_bars_have_legend_and_rows():
+    text = stacked_bars("t", ROWS, COMPONENTS, width=40)
+    assert "# compute" in text
+    assert "FFT/0" in text and "FFT/1" in text
+
+
+def test_bar_lengths_proportional_to_totals():
+    text = stacked_bars("t", ROWS, COMPONENTS, width=50)
+    lines = {line.split("|")[0].strip(): line.split("|")[1]
+             for line in text.splitlines() if "|" in line}
+    len0 = len(lines["FFT/0"].split()[0])
+    len1 = len(lines["FFT/1"].split()[0])
+    # FFT/1 total (125) > FFT/0 total (100): longer bar.
+    assert len1 > len0
+    # The longest bar spans roughly the full width.
+    assert abs(len1 - 50) <= 1
+
+
+def test_component_shares_within_bar():
+    text = stacked_bars("t", ROWS, COMPONENTS, width=100)
+    row1 = [l for l in text.splitlines() if l.startswith("FFT/1")][0]
+    bar = row1.split("|")[1].split()[0]
+    # data_wait ('=') is the biggest slice of FFT/1.
+    assert bar.count("=") > bar.count("#")
+    assert bar.count("=") > bar.count("+")
+
+
+def test_zero_component_renders_nothing():
+    text = stacked_bars("t", ROWS, COMPONENTS, width=50)
+    row = [l for l in text.splitlines() if l.startswith("FFT/0")][0]
+    assert "%" not in row.split("|")[1]  # lock is zero
+
+
+def test_empty_rows_handled():
+    assert "(no data)" in stacked_bars("t", {}, COMPONENTS)
+
+
+def test_too_many_components_rejected():
+    with pytest.raises(ValueError):
+        stacked_bars("t", ROWS, tuple("abcdefghijk"))
+
+
+def test_overhead_bars():
+    text = overhead_bars("ovh", {"FFT": 20.0, "LU": 40.0}, width=20)
+    lines = [l for l in text.splitlines() if "|" in l]
+    assert len(lines) == 2
+    fft = [l for l in lines if l.startswith("FFT")][0]
+    lu = [l for l in lines if l.startswith("LU")][0]
+    assert lu.count("#") == 2 * fft.count("#")
+    assert "40.0%" in lu

@@ -1,0 +1,39 @@
+"""Unit tests for protocol counters and their derived ratios."""
+
+from repro.metrics import NodeCounters, RunCounters
+
+
+def test_node_counters_start_zero():
+    counters = NodeCounters()
+    assert counters.releases == 0
+    assert counters.checkpoint_bytes == 0
+
+
+def test_add_merges_fieldwise():
+    a = NodeCounters(releases=2, pages_diffed=5, checkpoint_bytes=100)
+    b = NodeCounters(releases=3, pages_diffed=1, diff_messages=7)
+    a.add(b)
+    assert a.releases == 5
+    assert a.pages_diffed == 6
+    assert a.diff_messages == 7
+    assert a.checkpoint_bytes == 100
+
+
+def test_aggregate_over_nodes():
+    nodes = [NodeCounters(pages_diffed=4, home_pages_diffed=1),
+             NodeCounters(pages_diffed=6, home_pages_diffed=4)]
+    run = RunCounters.aggregate(nodes)
+    assert run.total.pages_diffed == 10
+    assert run.total.home_pages_diffed == 5
+    assert run.home_diff_fraction == 0.5
+
+
+def test_home_diff_fraction_no_diffs():
+    assert RunCounters().home_diff_fraction == 0.0
+
+
+def test_mean_checkpoint_bytes():
+    run = RunCounters.aggregate([
+        NodeCounters(checkpoints=4, checkpoint_bytes=1000)])
+    assert run.mean_checkpoint_bytes == 250.0
+    assert RunCounters().mean_checkpoint_bytes == 0.0

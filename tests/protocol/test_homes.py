@@ -1,0 +1,141 @@
+"""Unit and property tests for the home directory.
+
+The central invariant (paper section 4.5.1): under any sequence of
+non-simultaneous failures, the two replicas of every page and lock live
+on distinct live nodes, and every live node independently computes the
+same mapping.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, UnrecoverableFailure
+from repro.protocol.homes import HomeMap
+
+
+def make_map(num_nodes=8, num_pages=32, num_locks=16):
+    hints = {p: p % num_nodes for p in range(num_pages)}
+    return HomeMap(num_nodes, hints, num_locks), hints
+
+
+def test_primary_follows_hint_initially():
+    homes, hints = make_map()
+    for page, hint in hints.items():
+        assert homes.primary_home(page) == hint
+
+
+def test_secondary_is_next_node_initially():
+    homes, hints = make_map()
+    for page, hint in hints.items():
+        assert homes.secondary_home(page) == (hint + 1) % 8
+
+
+def test_lock_homes_round_robin():
+    homes, _ = make_map()
+    assert homes.lock_primary(3) == 3
+    assert homes.lock_secondary(3) == 4
+    assert homes.lock_primary(11) == 3
+
+
+def test_exclude_remaps_onto_live_nodes():
+    homes, _ = make_map(num_nodes=4, num_pages=8)
+    homes.exclude(1)
+    for page in range(8):
+        assert homes.primary_home(page) != 1
+        assert homes.secondary_home(page) != 1
+
+
+def test_failed_primary_promotes_old_secondary():
+    homes, _ = make_map(num_nodes=4, num_pages=8)
+    # Page 1 has primary 1, secondary 2; after node 1 dies the old
+    # secondary becomes the primary.
+    assert homes.primary_home(1) == 1
+    homes.exclude(1)
+    assert homes.primary_home(1) == 2
+    assert homes.secondary_home(1) == 3
+
+
+def test_backup_node_skips_failed():
+    homes, _ = make_map(num_nodes=4)
+    assert homes.backup_node(0) == 1
+    homes.exclude(1)
+    assert homes.backup_node(0) == 2
+
+
+def test_barrier_manager_moves_on_failure():
+    homes, _ = make_map(num_nodes=4)
+    assert homes.barrier_manager() == 0
+    homes.exclude(0)
+    assert homes.barrier_manager() == 1
+
+
+def test_too_many_failures_unrecoverable():
+    homes, _ = make_map(num_nodes=3)
+    homes.exclude(0)
+    with pytest.raises(UnrecoverableFailure):
+        homes.exclude(1)
+
+
+def test_unknown_page_rejected():
+    homes, _ = make_map(num_pages=4)
+    with pytest.raises(ProtocolError):
+        homes.primary_home(99)
+
+
+def test_copy_is_independent():
+    homes, _ = make_map(num_nodes=4)
+    clone = homes.copy()
+    homes.exclude(2)
+    assert clone.primary_home(2) == 2
+    assert homes.primary_home(2) != 2
+
+
+@given(st.integers(3, 10),
+       st.lists(st.integers(0, 9), min_size=0, max_size=6, unique=True))
+@settings(max_examples=200)
+def test_property_replicas_always_distinct_and_live(num_nodes, failures):
+    """Under any failure sequence leaving >= 2 nodes, all replicas sit
+    on distinct live nodes for every page and lock."""
+    failures = [f for f in failures if f < num_nodes]
+    if num_nodes - len(failures) < 2:
+        failures = failures[:num_nodes - 2]
+    homes, hints = make_map(num_nodes=num_nodes, num_pages=2 * num_nodes,
+                            num_locks=num_nodes + 3)
+    for node in failures:
+        homes.exclude(node)
+    dead = set(failures)
+    for page in hints:
+        p = homes.primary_home(page)
+        s = homes.secondary_home(page)
+        assert p != s
+        assert p not in dead
+        assert s not in dead
+    for lock in range(num_nodes + 3):
+        lp = homes.lock_primary(lock)
+        ls = homes.lock_secondary(lock)
+        assert lp != ls
+        assert lp not in dead and ls not in dead
+    for node in range(num_nodes):
+        if node not in dead:
+            backup = homes.backup_node(node)
+            assert backup != node
+            assert backup not in dead
+
+
+@given(st.integers(3, 8),
+       st.lists(st.integers(0, 7), min_size=1, max_size=3, unique=True))
+@settings(max_examples=100)
+def test_property_mapping_deterministic_across_replicas(num_nodes,
+                                                        failures):
+    """Two nodes applying the same exclusions independently derive the
+    identical mapping (no communication needed, section 4.5.1)."""
+    failures = [f for f in failures if f < num_nodes][:num_nodes - 2]
+    a, hints = make_map(num_nodes=num_nodes, num_pages=num_nodes * 2)
+    b = HomeMap(num_nodes, hints, a.num_locks)
+    for node in failures:
+        a.exclude(node)
+        b.exclude(node)
+    for page in hints:
+        assert a.primary_home(page) == b.primary_home(page)
+        assert a.secondary_home(page) == b.secondary_home(page)

@@ -1,0 +1,111 @@
+"""Unit and property tests for vector timestamps."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocol.timestamps import VectorTimestamp
+
+vectors = st.lists(st.integers(0, 1000), min_size=1, max_size=8)
+
+
+def test_starts_at_zero():
+    ts = VectorTimestamp(4)
+    assert list(ts) == [0, 0, 0, 0]
+
+
+def test_set_get():
+    ts = VectorTimestamp(4)
+    ts[2] = 7
+    assert ts[2] == 7
+
+
+def test_cannot_move_backwards():
+    ts = VectorTimestamp(4)
+    ts[1] = 5
+    with pytest.raises(ProtocolError):
+        ts[1] = 3
+
+
+def test_merge_is_pointwise_max():
+    a = VectorTimestamp(3, [1, 5, 2])
+    b = VectorTimestamp(3, [4, 3, 2])
+    a.merge(b)
+    assert list(a) == [4, 5, 2]
+
+
+def test_merge_width_mismatch_rejected():
+    with pytest.raises(ProtocolError):
+        VectorTimestamp(3).merge(VectorTimestamp(4))
+
+
+def test_dominates():
+    a = VectorTimestamp(3, [2, 2, 2])
+    b = VectorTimestamp(3, [1, 2, 2])
+    assert a.dominates(b)
+    assert not b.dominates(a)
+    assert a.dominates(a)
+
+
+def test_missing_intervals():
+    mine = VectorTimestamp(3, [1, 4, 0])
+    theirs = VectorTimestamp(3, [3, 4, 2])
+    assert mine.missing_intervals(theirs) == [(0, 2, 3), (2, 1, 2)]
+
+
+def test_missing_intervals_none_when_dominating():
+    mine = VectorTimestamp(2, [5, 5])
+    theirs = VectorTimestamp(2, [3, 5])
+    assert mine.missing_intervals(theirs) == []
+
+
+def test_copy_is_independent():
+    a = VectorTimestamp(2, [1, 2])
+    b = a.copy()
+    b[0] = 9
+    assert a[0] == 1
+
+
+@given(vectors)
+def test_property_encode_decode_roundtrip(values):
+    ts = VectorTimestamp(len(values), values)
+    decoded = VectorTimestamp.decode(len(values), ts.encode())
+    assert decoded == ts
+    assert ts.wire_bytes == 4 * len(values)
+
+
+@given(vectors, vectors)
+def test_property_merge_commutative_and_dominating(a_vals, b_vals):
+    n = min(len(a_vals), len(b_vals))
+    a1 = VectorTimestamp(n, a_vals[:n])
+    b1 = VectorTimestamp(n, b_vals[:n])
+    a2 = VectorTimestamp(n, a_vals[:n])
+    b2 = VectorTimestamp(n, b_vals[:n])
+    a1.merge(b1)
+    b2.merge(a2)
+    assert a1 == b2
+    assert a1.dominates(VectorTimestamp(n, a_vals[:n]))
+    assert a1.dominates(VectorTimestamp(n, b_vals[:n]))
+
+
+@given(vectors, vectors)
+def test_property_missing_intervals_cover_exactly_the_gap(a_vals, b_vals):
+    n = min(len(a_vals), len(b_vals))
+    mine = VectorTimestamp(n, a_vals[:n])
+    theirs = VectorTimestamp(n, b_vals[:n])
+    for node, first, last in mine.missing_intervals(theirs):
+        assert first == mine[node] + 1
+        assert last == theirs[node]
+        assert first <= last
+    covered = {node for node, _f, _l in mine.missing_intervals(theirs)}
+    for node in range(n):
+        if theirs[node] > mine[node]:
+            assert node in covered
+        else:
+            assert node not in covered
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(ProtocolError):
+        VectorTimestamp.decode(3, b"\x00" * 8)

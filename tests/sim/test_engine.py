@@ -1,0 +1,114 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, PRIORITY_URGENT
+
+
+def test_initial_time_is_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_orders_by_time():
+    engine = Engine()
+    order = []
+    engine.schedule(5.0, lambda: order.append("b"))
+    engine.schedule(1.0, lambda: order.append("a"))
+    engine.schedule(9.0, lambda: order.append("c"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.schedule(3.0, lambda t=tag: order.append(t))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_priority_beats_insertion_order():
+    engine = Engine()
+    order = []
+    engine.schedule(3.0, lambda: order.append("normal"))
+    engine.schedule(3.0, lambda: order.append("urgent"), priority=PRIORITY_URGENT)
+    engine.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_run_until_stops_clock_at_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(10.0, lambda: fired.append(1))
+    engine.run(until=4.0)
+    assert fired == []
+    assert engine.now == 4.0
+    engine.run()
+    assert fired == [1]
+
+
+def test_run_until_is_inclusive():
+    engine = Engine()
+    fired = []
+    engine.schedule(4.0, lambda: fired.append(1))
+    engine.run(until=4.0)
+    assert fired == [1]
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    engine.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(2.0, lambda: engine.schedule_at(7.0, lambda: seen.append(engine.now)))
+    engine.run()
+    assert seen == [7.0]
+
+
+def test_events_scheduled_during_run_execute():
+    engine = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        engine.schedule(1.0, lambda: order.append("second"))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert order == ["first", "second"]
+    assert engine.now == 2.0
+
+
+def test_peek_returns_next_event_time():
+    engine = Engine()
+    assert engine.peek() is None
+    handle = engine.schedule(5.0, lambda: None)
+    engine.schedule(8.0, lambda: None)
+    assert engine.peek() == 5.0
+    handle.cancel()
+    assert engine.peek() == 8.0
+
+
+def test_max_events_limits_execution():
+    engine = Engine()
+    count = []
+    for i in range(10):
+        engine.schedule(float(i), lambda: count.append(1))
+    engine.run(max_events=3)
+    assert len(count) == 3

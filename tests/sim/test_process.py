@@ -1,0 +1,298 @@
+"""Unit tests for generator-based processes and events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Delay,
+    Engine,
+    Event,
+    Interrupted,
+    ProcessKilled,
+    any_of,
+    timeout_wait,
+)
+
+
+def test_delay_advances_time():
+    engine = Engine()
+    trace = []
+
+    def proc():
+        trace.append(engine.now)
+        yield Delay(10.0)
+        trace.append(engine.now)
+        yield 5.0  # bare numbers also work
+        trace.append(engine.now)
+
+    engine.spawn(proc())
+    engine.run()
+    assert trace == [0.0, 10.0, 15.0]
+
+
+def test_process_done_event_carries_return_value():
+    engine = Engine()
+
+    def proc():
+        yield Delay(1.0)
+        return 42
+
+    p = engine.spawn(proc())
+    engine.run()
+    assert p.done.triggered
+    assert p.done.value == 42
+    assert not p.alive
+
+
+def test_yield_from_composes_suboperations():
+    engine = Engine()
+
+    def sub(n):
+        yield Delay(n)
+        return n * 2
+
+    def main():
+        a = yield from sub(3.0)
+        b = yield from sub(4.0)
+        return a + b
+
+    p = engine.spawn(main())
+    engine.run()
+    assert p.done.value == 14
+    assert engine.now == 7.0
+
+
+def test_event_wakes_waiter_with_value():
+    engine = Engine()
+    ev = Event(engine)
+    results = []
+
+    def waiter():
+        value = yield ev
+        results.append((engine.now, value))
+
+    engine.spawn(waiter())
+    engine.schedule(6.0, lambda: ev.succeed("hello"))
+    engine.run()
+    assert results == [(6.0, "hello")]
+
+
+def test_event_failure_raises_in_waiter():
+    engine = Engine()
+    ev = Event(engine)
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    engine.spawn(waiter())
+    engine.schedule(1.0, lambda: ev.fail(ValueError("boom")))
+    engine.run()
+    assert caught == ["boom"]
+
+
+def test_waiting_on_settled_event_resumes_immediately():
+    engine = Engine()
+    ev = Event(engine)
+    ev.succeed(7)
+    results = []
+
+    def waiter():
+        value = yield ev
+        results.append(value)
+
+    engine.spawn(waiter())
+    engine.run()
+    assert results == [7]
+
+
+def test_event_cannot_settle_twice():
+    engine = Engine()
+    ev = Event(engine)
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_multiple_waiters_all_wake_in_fifo_order():
+    engine = Engine()
+    ev = Event(engine)
+    order = []
+
+    def waiter(tag):
+        yield ev
+        order.append(tag)
+
+    for tag in range(4):
+        engine.spawn(waiter(tag))
+    engine.schedule(1.0, lambda: ev.succeed(None))
+    engine.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_interrupt_during_delay():
+    engine = Engine()
+    trace = []
+
+    def sleeper():
+        try:
+            yield Delay(100.0)
+            trace.append("finished")
+        except Interrupted as exc:
+            trace.append(("interrupted", engine.now, exc.cause))
+
+    p = engine.spawn(sleeper())
+    engine.schedule(5.0, lambda: p.interrupt("wakeup"))
+    engine.run()
+    assert trace == [("interrupted", 5.0, "wakeup")]
+
+
+def test_interrupt_during_event_wait_detaches_from_event():
+    engine = Engine()
+    ev = Event(engine)
+    trace = []
+
+    def waiter():
+        try:
+            yield ev
+        except Interrupted:
+            trace.append("interrupted")
+            yield Delay(1.0)
+            trace.append("resumed")
+
+    p = engine.spawn(waiter())
+    engine.schedule(2.0, lambda: p.interrupt())
+    engine.schedule(2.5, lambda: ev.succeed("late"))
+    engine.run()
+    assert trace == ["interrupted", "resumed"]
+
+
+def test_kill_runs_finally_blocks():
+    engine = Engine()
+    cleaned = []
+
+    def victim():
+        try:
+            yield Delay(100.0)
+        finally:
+            cleaned.append(True)
+
+    p = engine.spawn(victim())
+    engine.schedule(1.0, p.kill)
+    engine.run()
+    assert cleaned == [True]
+    assert not p.alive
+    assert p.done.failed
+    assert isinstance(p.done.value, ProcessKilled)
+
+
+def test_killed_process_never_resumes():
+    engine = Engine()
+    trace = []
+
+    def victim():
+        yield Delay(10.0)
+        trace.append("should not happen")
+
+    p = engine.spawn(victim())
+    engine.schedule(1.0, p.kill)
+    engine.run()
+    assert trace == []
+
+
+def test_process_kill_is_idempotent():
+    engine = Engine()
+
+    def victim():
+        yield Delay(10.0)
+
+    p = engine.spawn(victim())
+    engine.schedule(1.0, p.kill)
+    engine.schedule(2.0, p.kill)
+    engine.run()
+    assert not p.alive
+
+
+def test_unhandled_exception_propagates_from_run():
+    engine = Engine()
+
+    def buggy():
+        yield Delay(1.0)
+        raise RuntimeError("bug")
+
+    engine.spawn(buggy())
+    with pytest.raises(RuntimeError, match="bug"):
+        engine.run()
+
+
+def test_spawn_rejects_non_generator():
+    engine = Engine()
+    with pytest.raises(SimulationError, match="generator"):
+        engine.spawn(lambda: None)
+
+
+def test_any_of_returns_first_event():
+    engine = Engine()
+    ev1 = Event(engine)
+    ev2 = Event(engine)
+    results = []
+
+    def waiter():
+        index, value = yield any_of(engine, [ev1, ev2])
+        results.append((index, value, engine.now))
+
+    engine.spawn(waiter())
+    engine.schedule(3.0, lambda: ev2.succeed("two"))
+    engine.schedule(5.0, lambda: ev1.succeed("one"))
+    engine.run()
+    assert results == [(1, "two", 3.0)]
+
+
+def test_timeout_wait_success_path():
+    engine = Engine()
+    ev = Event(engine)
+    results = []
+
+    def waiter():
+        ok, value = yield from timeout_wait(engine, ev, timeout=10.0)
+        results.append((ok, value, engine.now))
+
+    engine.spawn(waiter())
+    engine.schedule(4.0, lambda: ev.succeed("data"))
+    engine.run()
+    assert results == [(True, "data", 4.0)]
+
+
+def test_timeout_wait_timeout_path():
+    engine = Engine()
+    ev = Event(engine)
+    results = []
+
+    def waiter():
+        ok, value = yield from timeout_wait(engine, ev, timeout=10.0)
+        results.append((ok, value, engine.now))
+
+    engine.spawn(waiter())
+    engine.run()
+    assert results == [(False, None, 10.0)]
+
+
+def test_process_join_via_done_event():
+    engine = Engine()
+    trace = []
+
+    def worker():
+        yield Delay(7.0)
+        return "result"
+
+    def parent():
+        child = engine.spawn(worker())
+        value = yield child.done
+        trace.append((engine.now, value))
+
+    engine.spawn(parent())
+    engine.run()
+    assert trace == [(7.0, "result")]
