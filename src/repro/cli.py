@@ -145,12 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fault-tolerant SVM cluster simulator (HPCA 2003 "
                     "reproduction)")
+    # Shared by every subcommand (a parent parser, so the flag sits
+    # after the subcommand: 'repro run FFT --profile 30').
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile", type=int, nargs="?", const=25, default=None,
+        metavar="N",
+        help="run the command under cProfile and print the top N "
+             "functions by cumulative host time (default 25)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list applications and scales"
-                   ).set_defaults(fn=_cmd_list)
+    sub.add_parser("list", help="list applications and scales",
+                   parents=[profiled]).set_defaults(fn=_cmd_list)
 
-    p_run = sub.add_parser("run", help="run one application")
+    p_run = sub.add_parser("run", help="run one application",
+                           parents=[profiled])
     p_run.add_argument("app", choices=APP_ORDER)
     p_run.add_argument("--variant", choices=("base", "ft"), default="ft")
     p_run.add_argument("--threads", type=int, default=1,
@@ -161,20 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
                        default="polling")
     p_run.set_defaults(fn=_cmd_run)
 
-    p_suite = sub.add_parser("suite", help="base-vs-extended suite table")
+    p_suite = sub.add_parser("suite", help="base-vs-extended suite table",
+                             parents=[profiled])
     p_suite.add_argument("--threads", type=int, default=1)
     p_suite.add_argument("--scale", default="bench",
                          choices=("test", "bench", "large"))
     p_suite.set_defaults(fn=_cmd_suite)
 
-    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig = sub.add_parser("figures", help="regenerate paper figures",
+                           parents=[profiled])
     p_fig.add_argument("--output", default="results")
     p_fig.add_argument("--scale", default="bench",
                        choices=("test", "bench", "large"))
     p_fig.set_defaults(fn=_cmd_figures)
 
     p_prof = sub.add_parser("profile",
-                            help="sharing + latency profile of one app")
+                            help="sharing + latency profile of one app",
+                            parents=[profiled])
     p_prof.add_argument("app", choices=APP_ORDER)
     p_prof.add_argument("--variant", choices=("base", "ft"),
                         default="ft")
@@ -183,7 +195,8 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("test", "bench", "large"))
     p_prof.set_defaults(fn=_cmd_profile)
 
-    p_rec = sub.add_parser("recover", help="fault-injection demo")
+    p_rec = sub.add_parser("recover", help="fault-injection demo",
+                           parents=[profiled])
     p_rec.add_argument("--app", choices=APP_ORDER, default="WaterNsq")
     p_rec.add_argument("--victim", type=int, default=3)
     p_rec.add_argument("--occurrence", type=int, default=4,
@@ -197,7 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    if args.profile is None:
+        return args.fn(args)
+    # Host-side profiling: where does the simulator itself spend time?
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    rc = profiler.runcall(args.fn, args)
+    print()
+    print(f"-- host profile: top {args.profile} by cumulative time --")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.profile)
+    return rc
 
 
 if __name__ == "__main__":

@@ -12,9 +12,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import MemoryError_, ProtectionFault
+
+#: Above this many tracked extents, dirty-region bookkeeping would cost
+#: more than it saves; the extents collapse to their convex hull.
+MAX_DIRTY_REGIONS = 64
 
 
 class Access(enum.Enum):
@@ -33,6 +37,12 @@ class PageTableEntry:
     twin: Optional[bytes] = None
     #: True while the page sits in the current interval's update list.
     dirty: bool = False
+    #: Written ``[start, end)`` extents since the twin was taken, kept
+    #: in write order and coalesced opportunistically. ``None`` means
+    #: tracking is off (no twin): diffs then scan the whole page.
+    #: Extents are conservative supersets of the real changes, so diff
+    #: computation restricted to them is exact.
+    dirty_regions: Optional[List[List[int]]] = None
     #: FT protocol: page is locked during an outstanding release; page
     #: faults on it must stall (paper Fig 4).
     locked: bool = False
@@ -88,6 +98,42 @@ class PageTable:
         ent = self.entry(page_id)
         ent.dirty = False
         ent.twin = None
+        ent.dirty_regions = None
+
+    # -- dirty-region tracking ----------------------------------------------
+
+    def start_dirty_tracking(self, page_id: int) -> None:
+        """Begin recording written extents (called at twin creation)."""
+        self.entry(page_id).dirty_regions = []
+
+    def record_write(self, page_id: int, start: int, end: int) -> None:
+        """Record one written extent; a no-op when tracking is off.
+
+        Hot path: called on every store. The common sequential-write
+        pattern (extent touching or overlapping the last one) extends
+        in place; out-of-order extents append and are normalized when
+        the diff is computed. Overflow collapses to the convex hull so
+        bookkeeping stays O(1) per write.
+        """
+        ent = self._entries.get(page_id)
+        if ent is None:
+            return
+        regions = ent.dirty_regions
+        if regions is None:
+            return
+        if regions:
+            last = regions[-1]
+            if start <= last[1] and end >= last[0]:
+                if start < last[0]:
+                    last[0] = start
+                if end > last[1]:
+                    last[1] = end
+                return
+        regions.append([start, end])
+        if len(regions) > MAX_DIRTY_REGIONS:
+            lo = min(r[0] for r in regions)
+            hi = max(r[1] for r in regions)
+            ent.dirty_regions = [[lo, hi]]
 
     def total_faults(self) -> int:
         return sum(ent.faults for ent in self._entries.values())

@@ -227,7 +227,9 @@ class SvmNodeAgent:
             # No yields between the final protection check (inside
             # _ensure_writable) and the store: the write is atomic with
             # respect to concurrent releases downgrading the page.
-            self.working.write_span(page, offset, bytes(view[:chunk]))
+            self.working.write_span(page, offset, view[:chunk])
+            # Dirty-region tracking: diffs scan only written extents.
+            self.page_table.record_write(page, offset, offset + chunk)
             pos += chunk
             view = view[chunk:]
         return None
@@ -347,6 +349,9 @@ class SvmNodeAgent:
             self.working.write_page(page, bytes(buf))
             entry.twin = bytes(data)
             entry.dirty = True
+            # Fresh twin: the rebased runs are the only changed extents.
+            entry.dirty_regions = [
+                [offset, offset + len(run)] for offset, run in pending.runs]
             self.update_list[page] = None
             entry.access = Access.READ_WRITE
         else:
@@ -366,6 +371,7 @@ class SvmNodeAgent:
             if entry.twin is None:
                 yield from self.node.mem_copy(self.page_size)
                 entry.twin = self.working.read_page(page)
+                entry.dirty_regions = []
                 self.counters.twins_created += 1
         entry.dirty = True
         self.update_list[page] = None
@@ -459,8 +465,7 @@ class SvmNodeAgent:
     def _on_diff(self, msg):
         """Apply an incoming diff at this (home) node. Generator run at
         NIC level so diffs from one writer apply in FIFO order."""
-        writer, interval, blob = msg.payload[1]
-        diff = Diff.decode(blob)
+        writer, interval, diff = msg.payload[1]
         yield Delay(self.costs.diff_apply_us(max(diff.changed_bytes, 1)))
         self._apply_home_diff(diff, writer)
         self._bump_version(diff.page_id, writer, interval)
@@ -511,8 +516,12 @@ class SvmNodeAgent:
 
     def _diff_and_send(self, page: int, entry, home: int, interval: int):
         yield Delay(self.costs.diff_compute_us(self.page_size))
-        twin = entry.twin if entry.twin is not None else bytes(self.page_size)
-        diff = compute_diff(page, twin, self.working.read_page(page))
+        if entry.twin is not None:
+            twin, regions = entry.twin, entry.dirty_regions
+        else:
+            twin, regions = bytes(self.page_size), None
+        diff = compute_diff(page, twin, self.working.read_page(page),
+                            regions=regions)
         self.counters.pages_diffed += 1
         if home == self.node_id or (
                 self.config.protocol.is_ft
@@ -521,11 +530,13 @@ class SvmNodeAgent:
         if diff.is_empty:
             # Still announce the interval so version gating can advance.
             diff = Diff(page, ())
-        blob = diff.encode()
         self.counters.diff_messages += 1
         self.counters.diff_bytes_sent += diff.wire_bytes
+        # In-simulation fast path: the message carries the (immutable)
+        # Diff itself -- real run bytes, no encode/decode round trip --
+        # while the wire cost model still charges the serialized size.
         yield from self.notify(home, DIFF_CHANNEL,
-                               (self.node_id, interval, blob),
+                               (self.node_id, interval, diff),
                                body_bytes=diff.wire_bytes)
         return diff
 
@@ -533,6 +544,7 @@ class SvmNodeAgent:
         entry = self.page_table.entry(page)
         entry.dirty = False
         entry.twin = None
+        entry.dirty_regions = None
         if entry.access is Access.READ_WRITE:
             entry.access = Access.READ_ONLY
 
@@ -602,7 +614,8 @@ class SvmNodeAgent:
             # writes as a pending diff, rebased after the re-fetch.
             if entry.twin is not None:
                 pending = compute_diff(
-                    page, entry.twin, self.working.read_page(page))
+                    page, entry.twin, self.working.read_page(page),
+                    regions=entry.dirty_regions)
                 existing = self._pending_local_diffs.get(page)
                 if existing is not None:
                     merged_runs = existing.runs + pending.runs

@@ -266,17 +266,16 @@ class FtSvmNodeAgent(SvmNodeAgent):
     def _on_diff(self, msg):
         body = msg.payload[1]
         if body[0] == "batch":
-            _tag, phase, writer, interval, seq, blobs = body
-            for blob in blobs:
+            _tag, phase, writer, interval, seq, diffs = body
+            for diff in diffs:
                 yield from self._apply_one_diff(phase, writer, interval,
-                                                seq, blob)
+                                                seq, diff)
             return
-        phase, writer, interval, seq, blob = body
+        phase, writer, interval, seq, diff = body
         yield from self._apply_one_diff(phase, writer, interval, seq,
-                                        blob)
+                                        diff)
 
-    def _apply_one_diff(self, phase, writer, interval, seq, blob):
-        diff = Diff.decode(blob)
+    def _apply_one_diff(self, phase, writer, interval, seq, diff):
         yield Delay(self.costs.diff_apply_us(max(diff.changed_bytes, 1)))
         if phase == "tent":
             self._record_undo(writer, seq, diff)
@@ -437,6 +436,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
             fl.diffs[page] = diff
             entry.dirty = False
             entry.twin = None
+            entry.dirty_regions = None
         record_body = ("pending", self.node_id, fl.seq, fl.interval,
                        fl.pages,
                        {page: diff.encode()
@@ -450,8 +450,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
 
     def _compute_page_diff(self, page: int, entry):
         yield Delay(self.costs.diff_compute_us(self.page_size))
-        twin = entry.twin if entry.twin is not None else bytes(self.page_size)
-        diff = compute_diff(page, twin, self.working.read_page(page))
+        if entry.twin is not None:
+            twin, regions = entry.twin, entry.dirty_regions
+        else:
+            twin, regions = bytes(self.page_size), None
+        diff = compute_diff(page, twin, self.working.read_page(page),
+                            regions=regions)
         self.counters.pages_diffed += 1
         if self.homes.primary_home(page) == self.node_id:
             self.counters.home_pages_diffed += 1
@@ -474,22 +478,26 @@ class FtSvmNodeAgent(SvmNodeAgent):
             else:
                 target = self.homes.primary_home(page)
             by_target.setdefault(target, []).append(diff)
+        # Diff messages carry the immutable Diff objects themselves --
+        # real run bytes without an encode/decode round trip -- while
+        # body_bytes still charges the full serialized size (the
+        # checkpoint records shipped at point A keep exercising the
+        # real encoder).
         if self.config.protocol.batch_diffs:
             for target in sorted(by_target):
                 diffs = by_target[target]
-                blobs = [d.encode() for d in diffs]
                 size = sum(d.wire_bytes for d in diffs)
                 self.counters.diff_messages += 1
                 self.counters.diff_bytes_sent += size
                 body = ("batch", phase, self.node_id, fl.interval,
-                        fl.seq, blobs)
+                        fl.seq, list(diffs))
                 yield from self.notify(target, "svm_diff", body,
                                        body_bytes=size)
         else:
             for target in sorted(by_target):
                 for diff in by_target[target]:
                     body = (phase, self.node_id, fl.interval, fl.seq,
-                            diff.encode())
+                            diff)
                     self.counters.diff_messages += 1
                     self.counters.diff_bytes_sent += diff.wire_bytes
                     yield from self.notify(target, "svm_diff", body,

@@ -1,0 +1,44 @@
+"""Same-seed runs must be bit-for-bit deterministic.
+
+The event engine breaks time ties by (priority, insertion order), so
+two runs of the same configuration must produce identical simulated
+clocks and event counts. The perf work on the hot paths (tuple-keyed
+heap entries, payload-reference diff messages, dirty-region scans)
+must never perturb this; these tests pin it.
+"""
+
+import pytest
+
+from repro.harness.experiments import run_app
+
+CASES = [("FFT", "ft"), ("WaterNsq", "ft"), ("LU", "base")]
+
+
+def _fingerprint(result):
+    total = result.counters.total
+    return {
+        "elapsed_us": result.elapsed_us,
+        "page_faults": total.page_faults,
+        "read_faults": total.read_faults,
+        "write_faults": total.write_faults,
+        "lock_acquires": total.lock_acquires,
+        "pages_diffed": total.pages_diffed,
+        "diff_bytes": total.diff_bytes_sent,
+        "diff_messages": total.diff_messages,
+        "breakdown": result.breakdown.six_component(),
+    }
+
+
+@pytest.mark.parametrize("app,variant", CASES)
+def test_same_seed_runs_identical(app, variant):
+    first = _fingerprint(run_app(app, variant, scale="test"))
+    second = _fingerprint(run_app(app, variant, scale="test"))
+    assert first == second
+
+
+def test_fingerprint_is_sensitive():
+    """Sanity check that the fingerprint distinguishes real changes
+    (the apps themselves are seed-independent, so compare variants)."""
+    a = _fingerprint(run_app("WaterNsq", "base", scale="test"))
+    b = _fingerprint(run_app("WaterNsq", "ft", scale="test"))
+    assert a != b
