@@ -7,6 +7,9 @@ Commands:
 * ``figures`` -- regenerate all four paper figures into a directory;
 * ``profile`` -- sharing fingerprint + operation latencies of one app;
 * ``recover`` -- fault-injection demo with a recovery timeline;
+* ``replay`` -- record / replay a model-check trace; on divergence,
+  bisect to the first event where protocol state departs from the
+  shadow oracle;
 * ``list`` -- available applications and scales.
 """
 
@@ -140,6 +143,46 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from repro.verify.replay import ReplayScenario, record_trace, replay_trace
+
+    if args.record:
+        scenario = ReplayScenario(
+            program_seed=args.program_seed, cluster_seed=args.cluster_seed,
+            plan_seed=args.plan_seed, failures=args.failures)
+        header = record_trace(scenario, args.trace)
+        status = header["error"] or "clean"
+        print(f"recorded {header['events']} events to {args.trace} "
+              f"({header['elapsed_us']:.0f}us simulated): {status}")
+        return 0
+
+    outcome = replay_trace(args.trace)
+    sc = outcome["scenario"]
+    print(f"replaying program_seed={sc.program_seed} "
+          f"cluster_seed={sc.cluster_seed} plan_seed={sc.plan_seed} "
+          f"failures={sc.failures}")
+    if outcome["error"] is None and not outcome["findings"]:
+        print("PASS: run completed and all recovery invariants held")
+        return 0
+    if outcome["error"] is not None:
+        print(f"run failed: {outcome['error']}")
+    for finding in outcome["findings"]:
+        print(f"  {finding.time_us:12.1f}us  {finding.invariant}: "
+              f"{finding.detail}")
+    first = outcome["first_divergence"]
+    if first is None:
+        print("bisection: no auditable stop diverges from the oracle "
+              "(divergence is transient or end-state only)")
+    else:
+        print(f"bisection ({first['probes']} re-runs): first auditable "
+              f"divergence at t={first['time_us']:.1f}us")
+        for ev in first["events"]:
+            print(f"  {ev}")
+        for finding in first["findings"]:
+            print(f"    -> {finding.invariant}: {finding.detail}")
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--scale", default="bench",
                        choices=("test", "bench", "large"))
     p_rec.set_defaults(fn=_cmd_recover)
+
+    p_rep = sub.add_parser(
+        "replay", help="record / replay / bisect a model-check trace",
+        parents=[profiled])
+    p_rep.add_argument("trace", help="trace file (JSONL)")
+    p_rep.add_argument("--record", action="store_true",
+                       help="run the scenario and record the trace "
+                            "instead of replaying one")
+    p_rep.add_argument("--program-seed", type=int, default=145)
+    p_rep.add_argument("--cluster-seed", type=int, default=1)
+    p_rep.add_argument("--plan-seed", type=int, default=None)
+    p_rep.add_argument("--failures", type=int, default=0)
+    p_rep.set_defaults(fn=_cmd_replay)
     return parser
 
 

@@ -38,6 +38,13 @@ class Hooks:
     RECOVERY_START = "recovery_start"
     RECOVERY_DONE = "recovery_done"
     THREAD_RESUMED = "thread_resumed"
+    # Fine-grained audit points (consumed by repro.verify and trace
+    # replay; fired densely, free with no subscribers).
+    DIFF_SEND = "diff_send"                        # one diff leaves a writer
+    DIFF_APPLY = "diff_apply"                      # one diff lands at a home
+    HOME_REMAP = "home_remap"                      # home map epoch change
+    RECOVERY_RECONCILE = "recovery_reconcile"      # roll-forward/back chosen
+    CHECKPOINT_STORED = "checkpoint_stored"        # backup stored a record
 
     def __init__(self) -> None:
         self._subs: DefaultDict[str, List[HookFn]] = defaultdict(list)

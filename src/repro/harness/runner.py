@@ -247,7 +247,15 @@ class SvmRuntime:
             if not undetected:
                 return
             self.recovery_manager.report_failure(undetected[0])
-            self.engine.run(until=max_sim_us)
+            # ``max_sim_us`` bounds runaway event generation, not the
+            # recovery itself: when the event list drained early the
+            # engine fast-forwarded ``now`` to the cap, so reusing it
+            # as the bound would leave recovery's events (scheduled
+            # after ``now``) forever unrunnable. Give each detection
+            # round its own budget instead.
+            until = (None if max_sim_us is None
+                     else self.engine.now + max_sim_us)
+            self.engine.run(until=until)
 
     def _collect(self) -> RunResult:
         clocks = [rec.clock for rec in self.threads]

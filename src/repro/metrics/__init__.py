@@ -11,7 +11,12 @@ from repro.metrics.charts import overhead_bars, stacked_bars
 from repro.metrics.counters import NodeCounters, RunCounters
 from repro.metrics.latency import LatencyBook, LatencyStats
 from repro.metrics.sharing import PageProfile, SharingProfiler
-from repro.metrics.trace import ProtocolTrace, TraceEvent
+from repro.metrics.trace import (
+    FULL_EVENTS,
+    ProtocolTrace,
+    TraceEvent,
+    load_jsonl,
+)
 from repro.metrics.report import (
     format_breakdown_table,
     format_overhead_table,
@@ -30,8 +35,10 @@ __all__ = [
     "LatencyStats",
     "SharingProfiler",
     "PageProfile",
+    "FULL_EVENTS",
     "ProtocolTrace",
     "TraceEvent",
+    "load_jsonl",
     "format_breakdown_table",
     "format_overhead_table",
     "overhead_percent",

@@ -9,9 +9,10 @@ precedes the lock handover of the same release").
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, List, Optional, Tuple
 
 from repro.cluster import Hooks
 
@@ -35,6 +36,31 @@ DEFAULT_EVENTS = (
     Hooks.RECOVERY_DONE,
     Hooks.THREAD_RESUMED,
 )
+
+#: Everything, including the dense per-diff / per-checkpoint events --
+#: what ``repro replay`` records so a bisection can step between
+#: individual diff sends, applies, checkpoint stores and home remaps.
+FULL_EVENTS = DEFAULT_EVENTS + (
+    Hooks.DIFF_SEND,
+    Hooks.DIFF_APPLY,
+    Hooks.HOME_REMAP,
+    Hooks.RECOVERY_RECONCILE,
+    Hooks.CHECKPOINT_STORED,
+)
+
+
+def _jsonable(value):
+    """Best-effort JSON projection of hook payload values (blobs are
+    summarized -- replay needs event identity and timing, not bytes)."""
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return {"__bytes__": len(value)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -132,3 +158,42 @@ class ProtocolTrace:
         if self.dropped:
             lines.insert(0, f"... {self.dropped} earlier events dropped")
         return "\n".join(lines)
+
+    # -- structured persistence (the ``repro replay`` format) -----------
+
+    def export_jsonl(self, path, header: Optional[dict] = None) -> int:
+        """Write the trace as JSON lines: one optional header object
+        (``{"header": {...}}``) followed by one event per line.
+        Returns the number of events written."""
+        count = 0
+        with open(path, "w") as fh:
+            if header is not None:
+                fh.write(json.dumps({"header": _jsonable(header)}) + "\n")
+            if self.dropped:
+                fh.write(json.dumps({"dropped": self.dropped}) + "\n")
+            for ev in self._events:
+                fh.write(json.dumps({
+                    "t": ev.time_us, "event": ev.event, "node": ev.node,
+                    "info": _jsonable(ev.info)}) + "\n")
+                count += 1
+        return count
+
+
+def load_jsonl(path) -> Tuple[Optional[dict], List[TraceEvent]]:
+    """Read a trace written by :meth:`ProtocolTrace.export_jsonl`.
+    Returns ``(header, events)``; header is None if absent."""
+    header: Optional[dict] = None
+    events: List[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "header" in obj:
+                header = obj["header"]
+            elif "event" in obj:
+                events.append(TraceEvent(
+                    time_us=obj["t"], event=obj["event"],
+                    node=obj["node"], info=obj.get("info", {})))
+    return header, events

@@ -128,6 +128,12 @@ class SvmNodeAgent:
         self._local_barriers: Dict[object, Dict[str, object]] = {}
         self.barrier_done: Dict[int, int] = {}
 
+        #: Optional ``fn(page, offset, data)`` observing every
+        #: application store (repro.verify's shadow oracle). A plain
+        #: attribute, not a hook: the write path is hot and a single
+        #: None check is all the disabled case may cost.
+        self.write_observer = None
+
         # Services / notify handlers ---------------------------------------
         self._services: Dict[str, object] = {}
         self._notify_handlers: Dict[str, object] = {}
@@ -230,6 +236,8 @@ class SvmNodeAgent:
             self.working.write_span(page, offset, view[:chunk])
             # Dirty-region tracking: diffs scan only written extents.
             self.page_table.record_write(page, offset, offset + chunk)
+            if self.write_observer is not None:
+                self.write_observer(page, offset, bytes(view[:chunk]))
             pos += chunk
             view = view[chunk:]
         return None

@@ -71,6 +71,12 @@ class _InflightRelease:
     diffs: Dict[int, Diff]
     stage: int = STAGE_PHASE1
     lock_id: Optional[int] = None
+    #: tid -> thread state frozen at the interval commit. Checkpoints
+    #: shipped at points A/B must describe execution up to (at most)
+    #: the committed interval; threads keep running between the commit
+    #: and the ship, so the blobs are captured atomically with the
+    #: commit and the later ships send these frozen copies.
+    state_blobs: Dict[int, bytes] = field(default_factory=dict)
 
 
 @dataclass
@@ -289,6 +295,9 @@ class FtSvmNodeAgent(SvmNodeAgent):
             self._bump_version(diff.page_id, writer, interval)
         else:
             raise ProtocolError(f"unknown diff phase {phase!r}")
+        self.hooks.fire(Hooks.DIFF_APPLY, self.node_id, phase=phase,
+                        writer=writer, interval=interval, seq=seq,
+                        page=diff.page_id)
 
     def _record_undo(self, writer: int, seq: int, diff: Diff) -> None:
         record = self._undo.get(writer)
@@ -409,11 +418,21 @@ class FtSvmNodeAgent(SvmNodeAgent):
         # Any fresh release re-establishes checkpoint coverage (points
         # A and B ship every local thread's state to the new backup).
         self.needs_checkpoint_reseed = False
+        # Freeze every local thread's state NOW, atomically with the
+        # interval commit. A peer that keeps executing between this
+        # commit and the point-A ship writes into the *next* interval;
+        # checkpointing its later state under this release's seq would
+        # resume it past actions whose data dies with this node
+        # (the 145/1/533 divergence).
+        state_blobs = {
+            rec.tid: encode_thread_state(rec.ctx.state)
+            for rec in self.runtime.threads
+            if rec.current_node == self.node_id and not rec.finished}
         self._inflight[thread.thread_id] = _InflightRelease(
             seq=seq, interval=self.interval_no, pages=pages, diffs={},
-            stage=STAGE_PREP, lock_id=lock_id)
+            stage=STAGE_PREP, lock_id=lock_id, state_blobs=state_blobs)
         self.hooks.fire(Hooks.RELEASE_COMMITTED, self.node_id,
-                        interval=self.interval_no, pages=pages)
+                        interval=self.interval_no, pages=pages, seq=seq)
 
     def _prepare_release(self, thread, fl: _InflightRelease):
         """Checkpoint peers (point A), compute diffs, ship the pending
@@ -424,7 +443,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
                     + self.costs.page_lock_us * len(fl.pages))
         # Point A: suspend peers, ship their states to the backup.
         yield from thread.clock.in_category(
-            Category.CHECKPOINT, self._point_a(thread, fl.seq))
+            Category.CHECKPOINT, self._point_a(thread, fl))
         # Compute all diffs once; they serve both phases (and the
         # pending record shipped to the backup).
         for page in fl.pages:
@@ -489,6 +508,11 @@ class FtSvmNodeAgent(SvmNodeAgent):
                 size = sum(d.wire_bytes for d in diffs)
                 self.counters.diff_messages += 1
                 self.counters.diff_bytes_sent += size
+                for diff in diffs:
+                    self.hooks.fire(Hooks.DIFF_SEND, self.node_id,
+                                    phase=phase, seq=fl.seq,
+                                    interval=fl.interval,
+                                    page=diff.page_id, target=target)
                 body = ("batch", phase, self.node_id, fl.interval,
                         fl.seq, list(diffs))
                 yield from self.notify(target, "svm_diff", body,
@@ -500,6 +524,10 @@ class FtSvmNodeAgent(SvmNodeAgent):
                             diff)
                     self.counters.diff_messages += 1
                     self.counters.diff_bytes_sent += diff.wire_bytes
+                    self.hooks.fire(Hooks.DIFF_SEND, self.node_id,
+                                    phase=phase, seq=fl.seq,
+                                    interval=fl.interval,
+                                    page=diff.page_id, target=target)
                     yield from self.notify(target, "svm_diff", body,
                                            body_bytes=diff.wire_bytes)
         for target in sorted(by_target):
@@ -508,18 +536,23 @@ class FtSvmNodeAgent(SvmNodeAgent):
                                        body_bytes=0, wait=True)
         return None
 
-    def _point_a(self, thread, seq: int):
-        """Checkpoint every local thread except the releaser."""
+    def _point_a(self, thread, fl: _InflightRelease):
+        """Checkpoint every local thread except the releaser.
+
+        Ships the state blobs frozen at the interval commit, NOT the
+        threads' current states: a peer that ran on between the commit
+        and this ship has advanced into the next (open) interval, and
+        its newer state must only ever be checkpointed under a seq
+        whose interval contains the matching data."""
         if not self.config.protocol.checkpointing:
             return None
-        peers = [rec for rec in self.runtime.threads
-                 if rec.current_node == self.node_id
-                 and not rec.finished
-                 and rec.tid != thread.thread_id]
-        yield Delay(self.costs.thread_suspend_us * len(peers))
-        for rec in peers:
-            yield from self._ship_thread_state(rec, seq)
-        self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=seq)
+        peer_tids = sorted(tid for tid in fl.state_blobs
+                           if tid != thread.thread_id)
+        yield Delay(self.costs.thread_suspend_us * len(peer_tids))
+        for tid in peer_tids:
+            yield from self._ship_thread_state(
+                tid, fl.seq, fl.state_blobs[tid])
+        self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=fl.seq)
         return None
 
     def _point_b(self, thread, fl: _InflightRelease):
@@ -527,8 +560,14 @@ class FtSvmNodeAgent(SvmNodeAgent):
         after this the release is conceptually complete."""
         backup = self.homes.backup_node(self.node_id)
         if self.config.protocol.checkpointing:
-            rec = self.runtime.threads[thread.thread_id]
-            yield from self._ship_thread_state(rec, fl.seq)
+            # The releaser runs only protocol code during its own
+            # pipeline, so its commit-frozen state is its current one.
+            blob = fl.state_blobs.get(thread.thread_id)
+            if blob is None:
+                rec = self.runtime.threads[thread.thread_id]
+                blob = encode_thread_state(rec.ctx.state)
+            yield from self._ship_thread_state(thread.thread_id,
+                                               fl.seq, blob)
         yield from self.notify(
             backup, CKPT_CHANNEL,
             ("complete", self.node_id, fl.seq, self.ts.encode()),
@@ -537,8 +576,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         self.hooks.fire(Hooks.CHECKPOINT_B, self.node_id, seq=fl.seq)
         return None
 
-    def _ship_thread_state(self, rec, seq: int):
-        blob = encode_thread_state(rec.ctx.state)
+    def _ship_thread_state(self, tid: int, seq: int, blob: bytes):
         # Accounted size includes the modelled native stack (the paper
         # ships context + stack; our explicit state is more compact).
         size = len(blob) + self.costs.checkpoint_stack_bytes
@@ -548,7 +586,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         backup = self.homes.backup_node(self.node_id)
         yield from self.notify(
             backup, CKPT_CHANNEL,
-            ("state", self.node_id, rec.tid, seq, blob),
+            ("state", self.node_id, tid, seq, blob),
             body_bytes=size + 32)
         return None
 
@@ -558,7 +596,8 @@ class FtSvmNodeAgent(SvmNodeAgent):
         recovered (into the start of the timed region)."""
         if not self.config.protocol.checkpointing:
             return None
-        yield from self._ship_thread_state(rec, 0)
+        yield from self._ship_thread_state(
+            rec.tid, 0, encode_thread_state(rec.ctx.state))
         return None
 
     def _on_checkpoint(self, msg):
@@ -578,15 +617,23 @@ class FtSvmNodeAgent(SvmNodeAgent):
         if kind == "state":
             _k, ward, tid, seq, blob = body
             self.ckpt_store.store_thread_state(ward, tid, seq, blob)
+            self.hooks.fire(Hooks.CHECKPOINT_STORED, self.node_id,
+                            kind=kind, ward=ward, tid=tid, seq=seq,
+                            blob=blob)
         elif kind == "pending":
             _k, ward, seq, interval, pages, diff_blobs, horizon = body
             self.ckpt_store.store_pending(ward, ReleaseRecord(
                 seq=seq, interval=interval, pages=list(pages),
                 diffs=dict(diff_blobs)))
             self.ckpt_store.trim_mirror(ward, horizon)
+            self.hooks.fire(Hooks.CHECKPOINT_STORED, self.node_id,
+                            kind=kind, ward=ward, seq=seq,
+                            interval=interval, pages=list(pages))
         elif kind == "complete":
             _k, ward, seq, ts_blob = body
             self.ckpt_store.store_complete(ward, seq, ts_blob)
+            self.hooks.fire(Hooks.CHECKPOINT_STORED, self.node_id,
+                            kind=kind, ward=ward, seq=seq)
         else:
             raise ProtocolError(f"unknown checkpoint record {kind!r}")
 

@@ -180,6 +180,9 @@ class RecoveryManager:
         old_map = runtime.homes.copy()
         runtime.homes.exclude(failed)
         homes = runtime.homes
+        runtime.cluster.hooks.fire(
+            Hooks.HOME_REMAP, failed, epoch=homes.epoch,
+            failed_set=sorted(homes.failed))
         live = self._live_ids()
         agents = {i: runtime.agents[i] for i in live}
         backup_id = homes.backup_node(failed)
@@ -254,6 +257,14 @@ class RecoveryManager:
                         cost_us += page_copy_us
                 agents[new_primary]._bump_version(page, failed,
                                                   pending.interval)
+
+        runtime.cluster.hooks.fire(
+            Hooks.RECOVERY_RECONCILE, failed,
+            action=("none" if pending is None
+                    else "rollforward" if pending.complete
+                    else "rollback"),
+            seq=pending.seq if pending is not None else None,
+            rolled_back_interval=rolled_back_interval)
 
         # -- 4. re-replicate pages that lost one home ----------------------
         for page in sorted(runtime.cluster.address_space.home_hint):

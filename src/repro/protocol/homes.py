@@ -38,6 +38,9 @@ class HomeMap:
         # application allocates segments, and the map sees them live.
         self._page_hint = page_hint
         self._failed: set[int] = set()
+        #: Reconfiguration epoch: bumped on every exclusion, so
+        #: auditors can tell which map generation routed a message.
+        self.epoch = 0
 
     # -- ring walking ---------------------------------------------------------
 
@@ -61,6 +64,7 @@ class HomeMap:
         if not 0 <= node < self.num_nodes:
             raise ProtocolError(f"no node {node}")
         self._failed.add(node)
+        self.epoch += 1
         if self.live_count() < 2:
             raise UnrecoverableFailure(
                 "fewer than two live nodes remain: replication impossible")
@@ -84,6 +88,10 @@ class HomeMap:
             raise UnrecoverableFailure(
                 "cannot place page replicas on distinct nodes")
         return secondary
+
+    def allocated_pages(self) -> list[int]:
+        """All pages with a home hint, i.e. allocated by the app."""
+        return sorted(self._page_hint)
 
     def pages_homed_at(self, node: int, role: str = "primary"
                        ) -> list[int]:
@@ -126,4 +134,5 @@ class HomeMap:
     def copy(self) -> "HomeMap":
         clone = HomeMap(self.num_nodes, self._page_hint, self.num_locks)
         clone._failed = set(self._failed)
+        clone.epoch = self.epoch
         return clone

@@ -1,0 +1,31 @@
+"""Recovery-invariant checking and deterministic trace replay.
+
+This package is the correctness safety net around the fault-tolerant
+protocol (see docs/RECOVERY.md):
+
+* :class:`ShadowOracle` -- a shadow shared memory maintained entirely
+  outside the protocol, fed by raw application stores and committed in
+  point-B (publication) order;
+* :class:`RecoveryInvariantChecker` -- audits replica agreement,
+  checkpoint/interval monotonicity, diff accounting, and checkpoint
+  atomicity at configurable sync points;
+* :mod:`repro.verify.replay` -- records structured event traces and
+  bisects a diverging run to the first auditable departure from the
+  oracle.
+
+Everything here is strictly opt-in: nothing is attached unless a test
+(or the ``repro replay`` CLI) constructs a checker, so the simulator's
+hot paths are unaffected in normal runs.
+"""
+
+from repro.verify.invariants import (
+    InvariantViolation,
+    RecoveryInvariantChecker,
+)
+from repro.verify.oracle import ShadowOracle
+
+__all__ = [
+    "InvariantViolation",
+    "RecoveryInvariantChecker",
+    "ShadowOracle",
+]

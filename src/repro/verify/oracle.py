@@ -1,0 +1,104 @@
+"""Shadow "oracle" memory maintained outside the protocol.
+
+The oracle keeps its own copy of the whole shared address space and
+updates it from two sources only:
+
+* **raw application stores**, observed via each agent's
+  ``write_observer`` callback (installed by the checker) -- these are
+  buffered per node, in program order, without touching any protocol
+  state;
+* **publication events** -- a buffered interval is *sealed* when its
+  node commits a release (``RELEASE_COMMITTED``, which atomically ends
+  the interval) and *applied to the shadow memory* only when the
+  release's point-B "complete" record is stored at the backup node
+  (``CHECKPOINT_STORED``/``complete``). That store is the protocol's
+  durability point: a release whose complete record reached the backup
+  is rolled forward after a failure, anything younger is rolled back.
+
+Because same-byte writers are serialized by locks and a lock is only
+handed over *after* point B (and barriers likewise complete a full
+release pipeline per node before releasing a generation), applying
+sealed intervals in complete-record order reproduces exactly the bytes
+the protocol is obliged to preserve. At any quiescent audit point the
+committed copy at each page's primary home must therefore be bitwise
+equal to the oracle -- independently of how many failures, rollbacks,
+roll-forwards, or home reassignments happened in between.
+
+On ``FAILURE_DETECTED`` the failed node's unsealed buffer and its
+sealed-but-unpublished intervals are discarded, mirroring recovery's
+rollback: the node's threads resume from checkpoints that predate that
+data and will re-execute (and re-observe) those writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+#: One buffered store: (page, offset, bytes).
+Write = Tuple[int, int, bytes]
+
+
+class ShadowOracle:
+    """Publication-ordered shadow copy of the shared address space."""
+
+    def __init__(self, num_pages: int, page_size: int) -> None:
+        self.num_pages = num_pages
+        self.page_size = page_size
+        self._mem = bytearray(num_pages * page_size)
+        #: node -> stores of the currently open interval.
+        self._open: Dict[int, List[Write]] = {}
+        #: (node, seq) -> sealed-but-unpublished stores.
+        self._sealed: Dict[Tuple[int, int], List[Write]] = {}
+        #: seal order per node (publication applies seqs in order).
+        self._sealed_order: Dict[int, List[int]] = {}
+        #: (node, seq) pairs already applied (publication idempotence:
+        #: a recovery-rewound release re-runs point B with its seq).
+        self.published: Set[Tuple[int, int]] = set()
+        #: Total stores observed (diagnostics).
+        self.writes_observed = 0
+
+    # -- feed: raw stores ------------------------------------------------
+
+    def observe_write(self, node: int, page: int, offset: int,
+                      data: bytes) -> None:
+        self.writes_observed += 1
+        self._open.setdefault(node, []).append((page, offset, data))
+
+    # -- feed: protocol lifecycle ----------------------------------------
+
+    def seal(self, node: int, seq: int) -> None:
+        """A release commit ended ``node``'s open interval as ``seq``."""
+        if (node, seq) in self._sealed or (node, seq) in self.published:
+            return  # recovery retry re-entering an already-sealed commit
+        self._sealed[(node, seq)] = self._open.pop(node, [])
+        self._sealed_order.setdefault(node, []).append(seq)
+
+    def publish(self, node: int, seq: int) -> None:
+        """``node``'s release ``seq`` reached its durability point:
+        apply every sealed interval of ``node`` up to ``seq``."""
+        order = self._sealed_order.get(node, [])
+        while order and order[0] <= seq:
+            s = order.pop(0)
+            for page, offset, data in self._sealed.pop((node, s), ()):
+                start = page * self.page_size + offset
+                self._mem[start:start + len(data)] = data
+            self.published.add((node, s))
+
+    def drop_node(self, node: int) -> None:
+        """``node`` failed: discard everything it had not published."""
+        self._open.pop(node, None)
+        for seq in self._sealed_order.pop(node, []):
+            self._sealed.pop((node, seq), None)
+
+    # -- reads -----------------------------------------------------------
+
+    def page(self, page_id: int) -> bytes:
+        start = page_id * self.page_size
+        return bytes(self._mem[start:start + self.page_size])
+
+    def unpublished_nodes(self) -> List[int]:
+        """Nodes still holding unsealed or unpublished stores."""
+        dirty = {node for node, writes in self._open.items() if writes}
+        dirty.update(node for node, order in self._sealed_order.items()
+                     if order)
+        return sorted(dirty)

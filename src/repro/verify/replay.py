@@ -1,0 +1,209 @@
+"""Deterministic trace recording, replay, and divergence bisection.
+
+The simulator is bit-deterministic in its seeds, so a failing run can
+be replayed exactly -- and, because it can be replayed, it can be
+*bisected*: re-execute the same scenario up to successively chosen
+event timestamps from a recorded trace, audit protocol state against
+the shadow oracle at each stop, and binary-search for the first event
+at which the state departs from the oracle.
+
+Workflow (also exposed as ``repro replay``)::
+
+    scenario = ReplayScenario(program_seed=145, cluster_seed=1,
+                              plan_seed=533, failures=2)
+    record_trace(scenario, "divergence.jsonl")     # full event trace
+    outcome = replay_trace("divergence.jsonl")     # re-run + bisect
+    print(outcome["first_divergence"])
+
+Audits at an arbitrary stop time are *transient-aware*: pages of
+releases still in flight are excluded, and stops that land inside a
+recovery window (or between a silent death and its detection) report
+"not auditable" and are treated as clean for the search, so the
+bisection converges on the first *auditable* divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, fields
+from typing import List, Optional
+
+from repro.apps.randomprog import RandomProgram
+from repro.config import ClusterConfig, MemoryParams, ProtocolParams
+from repro.harness.faultplan import FaultPlan
+from repro.harness.runner import SvmRuntime
+from repro.metrics.trace import FULL_EVENTS, ProtocolTrace, load_jsonl
+from repro.verify.invariants import Finding, RecoveryInvariantChecker
+
+
+@dataclass(frozen=True)
+class ReplayScenario:
+    """Everything needed to re-create one model-check run exactly."""
+
+    program_seed: int
+    cluster_seed: int
+    plan_seed: Optional[int] = None
+    failures: int = 0
+    variant: str = "ft"
+    lock_algorithm: str = "polling"
+    num_nodes: int = 4
+    threads_per_node: int = 1
+    shared_pages: int = 64
+    num_locks: int = 64
+    num_barriers: int = 8
+    page_size: int = 512
+    phases: int = 3
+    actions_per_phase: int = 4
+    counters: int = 3
+    slots_per_thread: int = 6
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReplayScenario":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+def build_runtime(scenario: ReplayScenario) -> SvmRuntime:
+    """A runtime + workload (+ fault plan) for the scenario; identical
+    construction to the random model check's ``make_runtime``."""
+    config = ClusterConfig(
+        num_nodes=scenario.num_nodes,
+        threads_per_node=scenario.threads_per_node,
+        shared_pages=scenario.shared_pages,
+        num_locks=scenario.num_locks,
+        num_barriers=scenario.num_barriers,
+        seed=scenario.cluster_seed,
+        memory=MemoryParams(page_size=scenario.page_size),
+        protocol=ProtocolParams(variant=scenario.variant,
+                                lock_algorithm=scenario.lock_algorithm))
+    workload = RandomProgram(
+        program_seed=scenario.program_seed, phases=scenario.phases,
+        actions_per_phase=scenario.actions_per_phase,
+        counters=scenario.counters,
+        slots_per_thread=scenario.slots_per_thread,
+        nthreads_hint=scenario.num_nodes * scenario.threads_per_node)
+    runtime = SvmRuntime(config, workload)
+    if scenario.plan_seed is not None and scenario.failures > 0:
+        FaultPlan.random_plan(
+            random.Random(scenario.plan_seed), scenario.num_nodes,
+            scenario.failures).apply(runtime)
+    return runtime
+
+
+def record_trace(scenario: ReplayScenario, path,
+                 capacity: int = 500_000) -> dict:
+    """Run the scenario once, recording the full event trace to
+    ``path`` (JSONL). Returns the header written (scenario + outcome);
+    an analytic-verify or protocol error is captured, not raised."""
+    runtime = build_runtime(scenario)
+    trace = ProtocolTrace(runtime.cluster, events=FULL_EVENTS,
+                          capacity=capacity)
+    error = None
+    try:
+        runtime.run()
+    except Exception as exc:  # noqa: BLE001 -- recorded, not hidden
+        error = f"{type(exc).__name__}: {exc}"
+    header = {"scenario": scenario.to_dict(), "error": error,
+              "elapsed_us": runtime.engine.now, "events": len(trace)}
+    trace.export_jsonl(path, header=header)
+    return header
+
+
+def probe(scenario: ReplayScenario,
+          until_us: float) -> Optional[List[Finding]]:
+    """Re-run deterministically up to ``until_us`` (inclusive) and
+    audit against a freshly maintained oracle.
+
+    Returns the findings (empty list == clean), or None when the
+    stopped state is not auditable (mid-recovery, or a node has died
+    but its failure is not yet detected)."""
+    runtime = build_runtime(scenario)
+    checker = RecoveryInvariantChecker(runtime, points=(), strict=False)
+    runtime.workload.setup(runtime)
+    runtime._create_threads()
+    for rec in runtime.threads:
+        runtime.spawn_thread(rec)
+    runtime.engine.run(until=until_us)
+    manager = runtime.recovery_manager
+    if manager is not None and manager.active is not None:
+        return None
+    if not checker._map_matches_liveness():
+        return None
+    checker.audit("probe")
+    return checker.violations
+
+
+def bisect_divergence(scenario: ReplayScenario,
+                      events) -> Optional[dict]:
+    """Find the first recorded event timestamp at which a deterministic
+    re-run fails the oracle audit.
+
+    ``events`` is the recorded trace (TraceEvent list). Returns None if
+    even the final stop audits clean, else a dict with the divergence
+    time, the findings there, the trace events at that timestamp, and
+    the number of re-runs used."""
+    times = sorted({ev.time_us for ev in events})
+    if not times:
+        return None
+    probes = 0
+
+    def dirty(index: int) -> bool:
+        nonlocal probes
+        probes += 1
+        findings = probe(scenario, times[index])
+        return bool(findings)
+
+    if not dirty(len(times) - 1):
+        return None
+    lo, hi = 0, len(times) - 1  # invariant: hi is dirty
+    if dirty(0):
+        hi = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if dirty(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    t = times[hi]
+    findings = probe(scenario, t) or []
+    return {
+        "time_us": t,
+        "findings": findings,
+        "events": [ev for ev in events if ev.time_us == t],
+        "probes": probes,
+    }
+
+
+def replay_trace(path) -> dict:
+    """Re-execute a recorded trace end to end with the invariant
+    checker attached; on divergence, bisect to the first bad event.
+
+    Returns ``{"scenario", "error", "findings", "first_divergence"}``
+    where ``first_divergence`` is :func:`bisect_divergence`'s result
+    (None when the replay is clean)."""
+    header, events = load_jsonl(path)
+    if header is None or "scenario" not in header:
+        raise ValueError(f"{path} has no scenario header; was it "
+                         "written by record_trace / repro replay "
+                         "--record?")
+    scenario = ReplayScenario.from_dict(header["scenario"])
+    runtime = build_runtime(scenario)
+    checker = RecoveryInvariantChecker(runtime, strict=False)
+    error = None
+    try:
+        runtime.run()
+    except Exception as exc:  # noqa: BLE001 -- reported, not hidden
+        error = f"{type(exc).__name__}: {exc}"
+    checker.finalize()
+    first = None
+    if error is not None or checker.violations:
+        first = bisect_divergence(scenario, events)
+    return {
+        "scenario": scenario,
+        "error": error,
+        "findings": checker.violations,
+        "first_divergence": first,
+    }

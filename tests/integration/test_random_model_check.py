@@ -7,6 +7,8 @@ net in the suite -- the enumerated tests pin known cases, this one
 hunts unknown ones.
 """
 
+import os
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,6 +19,11 @@ from repro.config import ClusterConfig, MemoryParams, ProtocolParams
 from repro.harness import SvmRuntime
 from repro.harness.faultplan import FaultPlan
 import random as _random
+
+#: With REPRO_CHECK_INVARIANTS=1 every ft run here additionally runs
+#: under the recovery invariant checker (CI's model-check job sets it;
+#: off by default so the checker's audits never distort perf numbers).
+CHECK_INVARIANTS = os.environ.get("REPRO_CHECK_INVARIANTS") == "1"
 
 
 def make_runtime(program_seed, cluster_seed, variant,
@@ -33,6 +40,19 @@ def make_runtime(program_seed, cluster_seed, variant,
     return SvmRuntime(config, workload)
 
 
+def run_checked(runtime):
+    """``runtime.run()`` -- with the invariant checker attached first
+    when REPRO_CHECK_INVARIANTS=1 and the runtime is fault-tolerant."""
+    checker = None
+    if CHECK_INVARIANTS and runtime.config.protocol.is_ft:
+        from repro.verify import RecoveryInvariantChecker
+        checker = RecoveryInvariantChecker(runtime)
+    result = runtime.run()
+    if checker is not None:
+        checker.finalize()
+    return result
+
+
 @given(program_seed=st.integers(1, 10_000),
        cluster_seed=st.integers(1, 1000),
        variant=st.sampled_from(["base", "ft"]),
@@ -43,7 +63,7 @@ def test_random_program_failure_free(program_seed, cluster_seed,
                                      variant, lock_algorithm):
     runtime = make_runtime(program_seed, cluster_seed, variant,
                            lock_algorithm)
-    runtime.run()  # analytic verify inside
+    run_checked(runtime)  # analytic verify inside
 
 
 @given(program_seed=st.integers(1, 10_000),
@@ -58,7 +78,7 @@ def test_random_program_random_faults(program_seed, cluster_seed,
     plan = FaultPlan.random_plan(_random.Random(plan_seed),
                                  num_nodes=4, failures=failures)
     plan.apply(runtime)
-    result = runtime.run()  # analytic verify inside
+    result = run_checked(runtime)  # analytic verify inside
     assert result.recoveries <= failures
 
 
@@ -77,7 +97,7 @@ def test_random_program_targeted_fault_matrix():
                              (Hooks.LOCK_ACQUIRED, 3)):
         runtime = make_runtime(99, 5, "ft")
         FaultPlan.single(2, hook, occurrence, 1.0).apply(runtime)
-        runtime.run()
+        run_checked(runtime)
 
 
 @pytest.mark.parametrize("ps,cs,plan_seed,failures", [
@@ -95,4 +115,4 @@ def test_model_check_regressions(ps, cs, plan_seed, failures):
     runtime = make_runtime(ps, cs, "ft")
     FaultPlan.random_plan(_random.Random(plan_seed), 4,
                           failures).apply(runtime)
-    runtime.run()
+    run_checked(runtime)

@@ -1,0 +1,99 @@
+"""Enumerated recovery regressions (no Hypothesis).
+
+Pins the exact fault-injection seed combinations that have diverged in
+the past, so the failures reproduce byte-for-byte without shrinking or
+database state. Each case runs with the recovery invariant checker
+attached: a regression must fail the protocol invariants, not just the
+workload's analytic verify.
+
+The flagship case is 145/1/533: node 0 committed interval 7 (release
+seq 9), thread 3 then ran on and completed its phase-1 write of slot
+(3, 4) inside the *next* (open) interval -- but its advanced state was
+checkpointed under seq 9. When node 0 died during seq 10, recovery
+rolled the data back to seq 9 and resumed thread 3 from the advanced
+state: the slot write was gone, yet the thread believed it had done it.
+Fixed by freezing thread state blobs atomically with the interval
+commit (see docs/RECOVERY.md).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.harness.faultplan import FaultPlan
+from repro.verify import RecoveryInvariantChecker
+from repro.verify.replay import ReplayScenario, build_runtime
+
+from tests.integration.test_random_model_check import make_runtime
+
+
+def run_checked(runtime):
+    checker = RecoveryInvariantChecker(runtime)
+    result = runtime.run()
+    checker.finalize()
+    return result, checker
+
+
+def test_regression_145_1_533_checkpoint_atomicity():
+    """The 145/1/533 divergence: slot (3, 4) must survive two failures."""
+    runtime = make_runtime(145, 1, "ft")
+    plan = FaultPlan.random_plan(random.Random(533), 4, failures=2)
+    plan.apply(runtime)
+    checker = RecoveryInvariantChecker(runtime)
+    result = runtime.run()  # analytic verify inside
+    checker.finalize()
+    assert result.recoveries == 2
+    # The exact datum that used to be lost: thread 3's last write to
+    # its slot 4 in the final phase.
+    workload = runtime.workload
+    slot = runtime.debug_read_array(workload._slot_addr(3, 4),
+                                    np.int64, 1)[0]
+    assert slot == 610432392
+    assert checker.violations == []
+    assert checker.audits_run > 0  # the checker actually looked
+
+
+@pytest.mark.parametrize("ps,cs,plan_seed,failures", [
+    (145, 1, 533, 2),    # the checkpoint-atomicity case, re-run via
+                         # the replay scenario path
+    (8988, 987, 1368, 1),
+    (3451, 745, 1001, 1),
+    (3613, 381, 2794, 2),
+    (1377, 959, 1717, 2),
+])
+def test_known_seed_combinations_stay_clean(ps, cs, plan_seed, failures):
+    scenario = ReplayScenario(program_seed=ps, cluster_seed=cs,
+                              plan_seed=plan_seed, failures=failures)
+    runtime = build_runtime(scenario)
+    result, checker = run_checked(runtime)
+    assert result.recoveries <= failures
+    assert checker.violations == []
+
+
+# Divergent combinations found by tests/tools/sweep_fault_seeds.py
+# (plan seeds 434..633 x failures {1,2} at program/cluster seed 145/1,
+# 2026-08: 397/400 clean). Each entry is xfail(strict=True) until its
+# bug is fixed -- drop the marker when it passes.
+SWEPT_DIVERGENT = [
+    # Doubled RMW: counters [301, 67, 0] != expected [247, 67, 0].
+    (145, 1, 475, 2),
+    # Recovery deadlock: no thread finishes even at 25x the normal
+    # simulated duration.
+    (145, 1, 537, 2),
+    (145, 1, 612, 2),
+]
+
+
+@pytest.mark.parametrize("ps,cs,plan_seed,failures", [
+    pytest.param(*case, marks=pytest.mark.xfail(
+        strict=True, reason="pinned by sweep; fix pending"))
+    for case in SWEPT_DIVERGENT
+])
+def test_swept_divergent_seeds(ps, cs, plan_seed, failures):
+    runtime = make_runtime(ps, cs, "ft")
+    FaultPlan.random_plan(random.Random(plan_seed), 4,
+                          failures).apply(runtime)
+    # The deadlock cases generate poll events forever; the cap turns
+    # them into a deterministic "threads never finished" failure.
+    runtime.run(max_sim_us=200_000.0)
