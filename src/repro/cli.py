@@ -6,6 +6,8 @@ Commands:
 * ``suite`` -- the six-application comparison (Figure 7 style);
 * ``figures`` -- regenerate all four paper figures into a directory;
 * ``profile`` -- sharing fingerprint + operation latencies of one app;
+* ``sweep`` -- fan an experiment matrix out over the parallel
+  orchestrator with content-addressed result caching;
 * ``recover`` -- fault-injection demo with a recovery timeline;
 * ``replay`` -- record / replay a model-check trace; on divergence,
   bisect to the first event where protocol state departs from the
@@ -89,6 +91,53 @@ def _cmd_figures(args) -> int:
         (outdir / f"{name}.txt").write_text(text + "\n")
         print(f"wrote {outdir / (name + '.txt')}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Run an experiment matrix through the parallel orchestrator."""
+    from repro.parallel import app_spec, resolve_jobs, run_specs
+
+    apps = args.apps or list(APP_ORDER)
+    threads = args.threads or [1]
+    specs = [app_spec(app, variant, threads_per_node=t,
+                      scale=args.scale, seed=args.seed)
+             for t in threads
+             for variant in args.variants
+             for app in apps]
+    jobs = resolve_jobs(args.jobs)
+    use_cache = not args.no_cache
+    print(f"sweep: {len(specs)} cells, {jobs} worker(s), cache "
+          f"{'on' if use_cache else 'off'}")
+
+    live = sys.stderr.isatty()
+
+    def progress(res, done, total):
+        src = "cache" if res.cached else f"{res.wall_s:5.1f}s"
+        line = (f"[{done:3d}/{total}] {res.status:7s} {src:>6s}  "
+                f"{res.spec.label}")
+        if live:
+            print(f"\r\x1b[K{line}", end="" if done < total else "\n",
+                  file=sys.stderr, flush=True)
+        else:
+            print(line, file=sys.stderr, flush=True)
+
+    results = run_specs(specs, jobs=args.jobs, cache=use_cache,
+                        progress=progress, timeout_s=args.timeout)
+    hits = sum(r.cached for r in results)
+    failed = [r for r in results if not r.ok]
+    print(f"{len(results) - len(failed)}/{len(results)} ok, "
+          f"{hits} served from cache")
+    width = max(len(r.spec.label) for r in results)
+    for res in results:
+        if res.ok:
+            summary = res.summary
+            print(f"  {res.spec.label:{width}s}  "
+                  f"elapsed {summary['elapsed_us']:12.1f} us  "
+                  f"checksum {summary['data_checksum'][:12]}")
+        else:
+            tail = res.error.strip().splitlines()[-1] if res.error else ""
+            print(f"  {res.spec.label:{width}s}  {res.status}: {tail}")
+    return 1 if failed else 0
 
 
 def _cmd_profile(args) -> int:
@@ -226,6 +275,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", default="bench",
                        choices=("test", "bench", "large"))
     p_fig.set_defaults(fn=_cmd_figures)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="parallel, cached experiment matrix",
+        parents=[profiled])
+    p_sweep.add_argument("--apps", nargs="*", choices=APP_ORDER,
+                         metavar="APP",
+                         help="subset of applications (default: all)")
+    p_sweep.add_argument("--variants", nargs="*",
+                         choices=("base", "ft"), default=("base", "ft"))
+    p_sweep.add_argument("--threads", nargs="*", type=int, metavar="T",
+                         help="threads-per-node values (default: 1)")
+    p_sweep.add_argument("--scale", default="bench",
+                         choices=("test", "bench", "large"))
+    p_sweep.add_argument("--seed", type=int, default=2003)
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS "
+                              "env var, else os.cpu_count())")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not write the result cache")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="per-cell wall-clock timeout")
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_prof = sub.add_parser("profile",
                             help="sharing + latency profile of one app",

@@ -131,6 +131,38 @@ def run_suite(variant: str,
               scale: str = "bench",
               apps=APP_ORDER,
               **kwargs) -> Dict[str, RunResult]:
-    """Run the whole application suite under one protocol variant."""
+    """Run the whole application suite under one protocol variant.
+
+    Serial, in-process, full ``RunResult`` objects (latency books and
+    thread clocks included) -- the right tool when a consumer needs
+    everything. Multi-run entry points that only need summaries
+    (figures, sweeps) go through :func:`run_matrix` instead.
+    """
     return {app: run_app(app, variant, threads_per_node, scale, **kwargs)
             for app in apps}
+
+
+def run_matrix(specs, jobs=None, cache=True, progress=None,
+               cache_dir=None):
+    """Run a list of :class:`~repro.parallel.RunSpec` concurrently.
+
+    The fan-out/caching entry point every multi-run benchmark routes
+    through: specs fan out over a process pool (``jobs`` / the
+    ``REPRO_JOBS`` env var / ``os.cpu_count()``), results come back as
+    :class:`~repro.parallel.RunSummary` in spec order, and completed
+    cells are served from the content-addressed cache on re-runs.
+    Raises ``RuntimeError`` if any spec fails -- a figure with holes in
+    its matrix is worse than no figure.
+    """
+    from repro.parallel import RunSummary, run_specs
+
+    results = run_specs(specs, jobs=jobs, cache=cache,
+                        cache_dir=cache_dir, progress=progress)
+    failed = [r for r in results if not r.ok]
+    if failed:
+        lines = "\n".join(f"  {r.spec.label}: {r.status}: "
+                          f"{r.error.strip().splitlines()[-1] if r.error else ''}"
+                          for r in failed)
+        raise RuntimeError(
+            f"{len(failed)}/{len(results)} matrix cells failed:\n{lines}")
+    return [RunSummary.from_dict(r.summary) for r in results]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.harness.experiments import APP_ORDER, run_suite
+from repro.harness.experiments import APP_ORDER, run_matrix
 from repro.metrics import (
     format_breakdown_table,
     overhead_bars,
@@ -30,12 +30,24 @@ _PAIR_CACHE: Dict[tuple, tuple] = {}
 
 def _suite_pair(threads_per_node: int, scale: str, apps: Iterable[str],
                 seed: int = 2003):
+    """base/extended suites for one figure pair, via the orchestrator.
+
+    Every figure cell is an independent simulation, so the whole
+    2 x len(apps) matrix fans out over :func:`run_matrix` -- parallel
+    across cores and served from the content-addressed result cache on
+    repeat invocations (``REPRO_JOBS`` controls worker count).
+    """
+    from repro.parallel import app_spec
+
     key = (threads_per_node, scale, tuple(apps), seed)
     if key not in _PAIR_CACHE:
-        base = run_suite("base", threads_per_node, scale,
-                         apps=tuple(apps), seed=seed)
-        extended = run_suite("ft", threads_per_node, scale,
-                             apps=tuple(apps), seed=seed)
+        apps = tuple(apps)
+        specs = [app_spec(app, variant, threads_per_node=threads_per_node,
+                          scale=scale, seed=seed)
+                 for variant in ("base", "ft") for app in apps]
+        summaries = run_matrix(specs)
+        base = dict(zip(apps, summaries[:len(apps)]))
+        extended = dict(zip(apps, summaries[len(apps):]))
         _PAIR_CACHE[key] = (base, extended)
     return _PAIR_CACHE[key]
 

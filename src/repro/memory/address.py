@@ -117,6 +117,10 @@ class AddressSpace:
         except KeyError:
             raise MemoryError_(f"no segment named {name!r}") from None
 
+    def segments(self) -> Dict[str, Segment]:
+        """All allocated segments by name (a copy; safe to iterate)."""
+        return dict(self._segments)
+
     def locate(self, addr: int) -> tuple[int, int]:
         """Map an absolute address to ``(page_id, offset_in_page)``."""
         if not 0 <= addr < self.num_pages * self.page_size:

@@ -37,6 +37,7 @@ class NIC:
                  dma_charge: Optional[DmaCharge] = None) -> None:
         self.engine = engine
         self.node_id = node_id
+        self._reply_name = f"nic{node_id}.reply"
         self.params = params
         self.rng = rng
         self.regions = regions if regions is not None else RegionTable(node_id)
@@ -108,7 +109,7 @@ class NIC:
 
     def expect_reply(self, req_id: int) -> Event:
         """Create the event a synchronous requester waits on."""
-        ev = Event(self.engine, f"nic{self.node_id}.reply{req_id}")
+        ev = Event(self.engine, self._reply_name)
         self._pending_replies[req_id] = ev
         return ev
 

@@ -63,7 +63,7 @@ class VMMC:
         self._check_peer(dst)
         completion: Optional[Event] = None
         if wait:
-            completion = Event(self.engine, f"deposit->{dst}")
+            completion = Event(self.engine, "deposit.wait")
         msg = Message(MessageKind.DEPOSIT, self.node_id, dst,
                       body_bytes=len(data),
                       payload=(region, offset, bytes(data)),
@@ -99,7 +99,7 @@ class VMMC:
         self._check_peer(dst)
         completion: Optional[Event] = None
         if wait:
-            completion = Event(self.engine, f"notify->{dst}")
+            completion = Event(self.engine, "notify.wait")
         size = (body_bytes if body_bytes is not None
                 else self.nic.params.control_message_bytes)
         msg = Message(MessageKind.NOTIFY, self.node_id, dst,

@@ -1,0 +1,122 @@
+"""Run specifications: the unit of work the orchestrator schedules.
+
+A :class:`RunSpec` is a *value*: a runner name plus JSON-serializable
+parameters that fully determine one simulation (workload factory name
+and scale, cluster/protocol/memory configuration, seeds, fault plan).
+Being a value makes it picklable for worker processes and hashable for
+the content-addressed cache -- two specs with the same canonical JSON
+are the same experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_ALLOWED_SCALARS = (str, int, float, bool, type(None))
+
+
+def _check_canonical(value: Any, path: str) -> None:
+    """Reject params the cache key could not represent stably."""
+    if isinstance(value, _ALLOWED_SCALARS):
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise TypeError(
+                    f"spec param {path}: dict keys must be str, got {k!r}")
+            _check_canonical(v, f"{path}.{k}")
+        return
+    if isinstance(value, (list, tuple)):
+        for i, v in enumerate(value):
+            _check_canonical(v, f"{path}[{i}]")
+        return
+    raise TypeError(
+        f"spec param {path}: {type(value).__name__} is not "
+        "JSON-canonicalizable (use str/int/float/bool/None/dict/list)")
+
+
+def _normalize(value: Any) -> Any:
+    """Tuples -> lists so equal specs canonicalize identically."""
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One schedulable simulation.
+
+    ``kind`` names a runner registered in :mod:`repro.parallel.runners`;
+    ``params`` are its keyword arguments; ``tag`` is a display label
+    only -- it never enters the cache key.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _check_canonical(self.params, self.kind)
+        object.__setattr__(self, "params", _normalize(self.params))
+
+    def canonical_json(self) -> str:
+        """Stable serialization: the identity of this experiment."""
+        return json.dumps({"kind": self.kind, "params": self.params},
+                          sort_keys=True, separators=(",", ":"))
+
+    @property
+    def label(self) -> str:
+        return self.tag if self.tag is not None else self.canonical_json()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params, "tag": self.tag}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunSpec":
+        return cls(kind=d["kind"], params=d.get("params", {}),
+                   tag=d.get("tag"))
+
+
+def app_spec(app_name: str, variant: str, threads_per_node: int = 1,
+             scale: str = "bench", num_nodes: int = 8, seed: int = 2003,
+             lock_algorithm: str = "polling", verify: bool = True,
+             tag: Optional[str] = None,
+             **protocol_overrides) -> RunSpec:
+    """One cell of the paper's evaluation matrix (mirrors ``run_app``)."""
+    params = {
+        "app_name": app_name,
+        "variant": variant,
+        "threads_per_node": threads_per_node,
+        "scale": scale,
+        "num_nodes": num_nodes,
+        "seed": seed,
+        "lock_algorithm": lock_algorithm,
+        "verify": verify,
+        "protocol_overrides": dict(protocol_overrides),
+    }
+    if tag is None:
+        tag = f"{app_name}/{variant}/t{threads_per_node}/s{seed}"
+    return RunSpec(kind="app", params=params, tag=tag)
+
+
+def model_check_spec(program_seed: int, cluster_seed: int,
+                     plan_seed: int, failures: int, check: bool = False,
+                     max_sim_us: float = 200_000.0,
+                     tag: Optional[str] = None) -> RunSpec:
+    """One fault-injection model-check case (mirrors the seed sweep)."""
+    params = {
+        "program_seed": program_seed,
+        "cluster_seed": cluster_seed,
+        "plan_seed": plan_seed,
+        "failures": failures,
+        "check": check,
+        "max_sim_us": max_sim_us,
+    }
+    if tag is None:
+        tag = (f"mc/{program_seed}/{cluster_seed}/"
+               f"{plan_seed}x{failures}")
+    return RunSpec(kind="model_check", params=params, tag=tag)

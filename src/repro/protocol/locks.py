@@ -109,7 +109,7 @@ class LockManagerBase:
             # invalidations (same node => updates already visible); a
             # "retry" wake means the holder released globally (or its
             # acquire aborted) and we must contend from scratch.
-            ev = Event(self.engine, f"lock{lock_id}.localwait")
+            ev = Event(self.engine, "lock.localwait")
             st.waiters.append(ev)
             outcome = yield from self.agent.blocked_wait(ev)
             if outcome == "handoff":
@@ -186,6 +186,7 @@ class PollingLocks(LockManagerBase):
         costs = agent.costs
         n = agent.config.num_nodes
         me = agent.node_id
+        vec_base = self._vec_base(lock_id)
         backoff = costs.lock_backoff_min_us
         while True:
             # The agent aborts synchronization when recovery is pending;
@@ -194,16 +195,18 @@ class PollingLocks(LockManagerBase):
             home = agent.homes.lock_primary(lock_id)
             yield Delay(costs.lock_op_us)
             yield from agent.deposit(
-                home, LOCKVEC_REGION, self._vec_base(lock_id) + me,
+                home, LOCKVEC_REGION, vec_base + me,
                 b"\x01", wait=True)
             vec = yield from agent.fetch(
-                home, LOCKVEC_REGION, self._vec_base(lock_id), n)
-            contended = any(vec[i] for i in range(n) if i != me)
+                home, LOCKVEC_REGION, vec_base, n)
+            # "Any slot other than mine non-zero" via C-level byte
+            # counting (the generator version dominated the poll loop).
+            contended = (n - vec.count(0) - (1 if vec[me] else 0)) > 0
             if not contended:
                 break
             agent.counters.lock_retries += 1
             yield from agent.deposit(
-                home, LOCKVEC_REGION, self._vec_base(lock_id) + me,
+                home, LOCKVEC_REGION, vec_base + me,
                 b"\x00", wait=True)
             # FT: a dead lock holder leaves its slot set forever; after
             # a while, probe the apparent holders (section 4.1's

@@ -173,8 +173,12 @@ class Process:
         self._pending_resume = None  # cancellable _ScheduledEvent
         self._waiting_on: Optional[Event] = None
         self._wait_cb: Optional[Callable[[Event], None]] = None
+        # One reusable resume thunk for the value-less wakeups (every
+        # Delay yield); at most one resume is pending at a time, so the
+        # shared callable is safe and saves a closure per suspension.
+        self._resume_plain = lambda: self._step("send", None)
         # Start at the current time, after already-queued events at `now`.
-        self._pending_resume = engine.schedule(0.0, lambda: self._step("send", None))
+        self._pending_resume = engine.schedule(0.0, self._resume_plain)
 
     @property
     def alive(self) -> bool:
@@ -213,7 +217,7 @@ class Process:
             yielded = Delay(float(yielded))
         if isinstance(yielded, Delay):
             self._pending_resume = self.engine.schedule(
-                yielded.duration, lambda: self._step("send", None))
+                yielded.duration, self._resume_plain)
             return
         if isinstance(yielded, Event):
             self._waiting_on = yielded
@@ -281,9 +285,29 @@ def timeout_wait(engine: Engine, event: Event, timeout: float):
     value)`` if the event succeeded in time, ``(False, None)`` on
     timeout. Event *failures* are re-raised.
     """
-    timer = Event(engine, "timeout")
-    handle = engine.schedule(timeout, lambda: timer.succeed(None))
-    index, value = yield any_of(engine, [event, timer], "timeout_wait")
+    # Hand-rolled two-way any_of: one Event and two closures instead of
+    # the timer Event + any_of machinery (this sits on the hot path of
+    # every synchronous remote operation). Settling order is identical:
+    # the timer action settles `combined` directly at the same engine
+    # slot where it used to settle the timer event.
+    combined = Event(engine, "timeout_wait")
+
+    def on_timer() -> None:
+        if not combined._settled:
+            combined.succeed((1, None))
+
+    handle = engine.schedule(timeout, on_timer)
+
+    def on_event(ev: Event) -> None:
+        if combined._settled:
+            return
+        if ev.failed:
+            combined.fail(ev.value)
+        else:
+            combined.succeed((0, ev.value))
+
+    event.add_callback(on_event)
+    index, value = yield combined
     if index == 0:
         handle.cancel()
         return True, value

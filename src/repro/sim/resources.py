@@ -35,6 +35,7 @@ class Mutex:
     def __init__(self, engine: Engine, name: str = "mutex") -> None:
         self.engine = engine
         self.name = name
+        self._acquire_name = name + ".acquire"
         self._locked = False
         self._waiters: Deque[Event] = deque()
 
@@ -43,7 +44,7 @@ class Mutex:
         return self._locked
 
     def acquire(self) -> Event:
-        ev = Event(self.engine, f"{self.name}.acquire")
+        ev = Event(self.engine, self._acquire_name)
         if not self._locked:
             self._locked = True
             ev.succeed(None)
@@ -86,6 +87,7 @@ class Resource:
             raise SimulationError(f"resource capacity must be >= 1: {capacity}")
         self.engine = engine
         self.name = name
+        self._acquire_name = name + ".acquire"
         self.capacity = capacity
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
@@ -99,7 +101,7 @@ class Resource:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        ev = Event(self.engine, f"{self.name}.acquire")
+        ev = Event(self.engine, self._acquire_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(None)
@@ -131,6 +133,8 @@ class Store:
             raise SimulationError(f"store capacity must be >= 1: {capacity}")
         self.engine = engine
         self.name = name
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
@@ -144,7 +148,7 @@ class Store:
         return self.capacity is not None and len(self._items) >= self.capacity
 
     def put(self, item: Any) -> Event:
-        ev = Event(self.engine, f"{self.name}.put")
+        ev = Event(self.engine, self._put_name)
         if self._getters:
             # Hand the item straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
@@ -167,7 +171,7 @@ class Store:
         return True
 
     def get(self) -> Event:
-        ev = Event(self.engine, f"{self.name}.get")
+        ev = Event(self.engine, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             self._admit_putter()

@@ -10,9 +10,11 @@ patterns, and region-restricted scans.
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import repro.memory.diff as diff_mod
 from repro.memory.diff import (
     apply_diff,
     compute_diff,
@@ -23,6 +25,24 @@ from repro.memory.diff import (
 PAGE = 256
 
 MERGE_GAPS = (0, 1, 2, 3, 8, 17, PAGE)
+
+
+def assert_matches_reference(twin, cur, merge_gap):
+    """compute_diff == reference under BOTH span scanners.
+
+    The scanner picks its strategy by span length (>= _NUMPY_SPAN_BYTES
+    goes to the numpy boundary finder); 256-byte test pages would only
+    ever exercise the big-int path, so equivalence is asserted once per
+    strategy by forcing the threshold either way.
+    """
+    ref = compute_diff_reference(0, twin, cur, merge_gap=merge_gap)
+    orig = diff_mod._NUMPY_SPAN_BYTES
+    try:
+        for threshold in (0, 1 << 30):
+            diff_mod._NUMPY_SPAN_BYTES = threshold
+            assert compute_diff(0, twin, cur, merge_gap=merge_gap) == ref
+    finally:
+        diff_mod._NUMPY_SPAN_BYTES = orig
 
 
 @st.composite
@@ -44,8 +64,7 @@ def page_pair(draw):
 @settings(max_examples=300)
 def test_vectorized_matches_reference(pair, merge_gap):
     twin, cur = pair
-    assert (compute_diff(0, twin, cur, merge_gap=merge_gap) ==
-            compute_diff_reference(0, twin, cur, merge_gap=merge_gap))
+    assert_matches_reference(twin, cur, merge_gap)
 
 
 @given(st.integers(1, 32), st.integers(1, 48), st.sampled_from(MERGE_GAPS))
@@ -59,8 +78,36 @@ def test_vectorized_matches_reference_striped(stride, width, merge_gap):
         for i in range(start, min(start + width, PAGE)):
             cur[i] ^= 0x5A
     cur = bytes(cur)
+    assert_matches_reference(twin, cur, merge_gap)
+
+
+@given(st.integers(1, 64), st.integers(1, 64),
+       st.sampled_from((1, 4, 8, 16, 33)))
+@settings(max_examples=80)
+def test_fragmented_large_pages_match_reference(stride, width, merge_gap):
+    """4 KB pages cross the real numpy threshold: striped fragmentation
+    at every gap/width relation (the BENCH_hotpaths fragmented regime
+    is stride 16 / width 16 here)."""
+    big = 4096
+    rng = random.Random(stride * 131 + width)
+    twin = bytes(rng.randrange(256) for _ in range(big))
+    cur = bytearray(twin)
+    for start in range(0, big, stride + width):
+        for i in range(start, min(start + width, big)):
+            cur[i] ^= 0xA5
+    cur = bytes(cur)
+    # Default threshold: full pages take the numpy path for real.
     assert (compute_diff(0, twin, cur, merge_gap=merge_gap) ==
             compute_diff_reference(0, twin, cur, merge_gap=merge_gap))
+
+
+def test_both_span_scanners_agree_on_hotpath_regimes():
+    """The four BENCH_hotpaths page regimes, both scanners, exactly."""
+    from benchmarks.bench_hotpaths import _make_pages
+    twin, pages = _make_pages()
+    for cur in pages.values():
+        for merge_gap in (1, 8, 64):
+            assert_matches_reference(twin, cur, merge_gap)
 
 
 @given(page_pair(), st.sampled_from((1, 8, 16)))

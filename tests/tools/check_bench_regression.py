@@ -1,0 +1,90 @@
+"""Compare a fresh hot-path benchmark run against a committed baseline.
+
+Not a pytest module: CI runs it after the bench smoke, with the
+baseline read from git (the smoke overwrites the working-tree copy)::
+
+    git show HEAD:results/BENCH_hotpaths.json > /tmp/baseline.json
+    python tests/tools/check_bench_regression.py \
+        --baseline /tmp/baseline.json --fresh results/BENCH_hotpaths.json
+
+Absolute microsecond numbers move with the machine (the committed
+baseline comes from a 1-core container; CI runners differ), so the
+gate is a wide tolerance band: ratio metrics (diff speedups, which are
+measured against a reference loop on the *same* machine) must keep at
+least ``1/tolerance`` of the baseline, and per-operation host costs
+must not exceed ``tolerance`` times the baseline. The default band of
+2.0 catches an accidentally-reverted fast path (order-of-magnitude
+regressions) without flaking on runner noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (json path, kind) -- "higher" metrics must stay >= baseline/tol,
+#: "lower" metrics must stay <= baseline*tol.
+GATES = [
+    (("diff", "sparse", "speedup"), "higher"),
+    (("diff", "dense", "speedup"), "higher"),
+    (("diff", "clean", "speedup"), "higher"),
+    (("diff", "fragmented", "speedup"), "higher"),
+    (("fault_fetch", "host_us_per_fault"), "lower"),
+    (("lock_handoff", "host_us_per_acquire"), "lower"),
+    (("merge", "merge_8diffs_us"), "lower"),
+]
+
+
+def _lookup(data: dict, path: tuple):
+    for part in path:
+        data = data[part]
+    return data
+
+
+def check(baseline: dict, fresh: dict, tolerance: float) -> list:
+    failures = []
+    for path, kind in GATES:
+        name = ".".join(path)
+        base = _lookup(baseline, path)
+        now = _lookup(fresh, path)
+        if kind == "higher":
+            bound = base / tolerance
+            ok = now >= bound
+            rel = "<" if not ok else ">="
+        else:
+            bound = base * tolerance
+            ok = now <= bound
+            rel = ">" if not ok else "<="
+        line = (f"{name}: {now} {rel} bound {bound:.2f} "
+                f"(baseline {base}, tolerance {tolerance}x)")
+        print(("FAIL  " if not ok else "  ok  ") + line)
+        if not ok:
+            failures.append(line)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed multiplicative drift (default 2.0)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.fresh, encoding="utf-8") as fh:
+        fresh = json.load(fh)
+
+    failures = check(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"\n{len(failures)} hot-path metric(s) regressed past the "
+              f"{args.tolerance}x band")
+        return 1
+    print("\nall hot-path metrics within the tolerance band")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,11 @@ demand::
     PYTHONPATH=src python tests/tools/sweep_fault_seeds.py \
         --program-seed 145 --cluster-seed 1 \
         --plan-start 434 --plan-count 200 --failures 1,2 --check
+
+Cases fan out over the parallel orchestrator (``--jobs`` /
+``REPRO_JOBS``); completed cases are served from the content-addressed
+result cache, so re-sweeping an extended seed range only runs the new
+seeds. ``--no-cache`` forces every case to execute.
 """
 
 from __future__ import annotations
@@ -70,34 +75,52 @@ def main(argv=None) -> int:
     parser.add_argument("--max-sim-us", type=float, default=200_000.0,
                         help="simulated-time cap per run; exceeding it "
                              "counts as a divergence (deadlock)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS env "
+                             "var, else os.cpu_count())")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the result cache")
     args = parser.parse_args(argv)
+
+    from repro.parallel import model_check_spec, resolve_jobs, run_specs
 
     failure_counts = [int(x) for x in args.failures.split(",")]
     seeds = range(args.plan_start, args.plan_start + args.plan_count)
-    total = len(seeds) * len(failure_counts)
+    specs = [model_check_spec(args.program_seed, args.cluster_seed,
+                              plan_seed, failures, check=args.check,
+                              max_sim_us=args.max_sim_us)
+             for plan_seed in seeds for failures in failure_counts]
+    total = len(specs)
     bad = []
     start = time.time()
-    done = 0
-    for plan_seed in seeds:
-        for failures in failure_counts:
-            status, detail = run_case(
-                args.program_seed, args.cluster_seed, plan_seed,
-                failures, args.check, max_sim_us=args.max_sim_us)
-            done += 1
-            if status != "ok":
-                bad.append((plan_seed, failures, status, detail))
-                print(f"DIVERGENT plan_seed={plan_seed} "
-                      f"failures={failures}: {status}: {detail}",
-                      flush=True)
-                if args.stop_after and len(bad) >= args.stop_after:
-                    break
-            if done % 50 == 0:
-                rate = done / (time.time() - start)
-                print(f"... {done}/{total} ({rate:.1f}/s), "
-                      f"{len(bad)} divergent", flush=True)
-        else:
-            continue
-        break
+    print(f"sweeping {total} cases on {resolve_jobs(args.jobs)} "
+          f"worker(s)", flush=True)
+
+    def progress(res, done, _total):
+        # `summary["status"]` classifies the *simulated* outcome; the
+        # orchestrator status only goes non-ok on harness breakage.
+        if res.ok and res.summary["status"] != "ok":
+            p = res.spec.params
+            print(f"DIVERGENT plan_seed={p['plan_seed']} "
+                  f"failures={p['failures']}: {res.summary['status']}: "
+                  f"{res.summary['detail']}", flush=True)
+        if done % 50 == 0:
+            rate = done / (time.time() - start)
+            print(f"... {done}/{total} ({rate:.1f}/s)", flush=True)
+
+    results = run_specs(specs, jobs=args.jobs, cache=not args.no_cache,
+                        progress=progress)
+    done = len(results)
+    for res in results:
+        p = res.spec.params
+        if not res.ok:
+            tail = res.error.strip().splitlines()[-1] if res.error else ""
+            bad.append((p["plan_seed"], p["failures"], res.status, tail))
+        elif res.summary["status"] != "ok":
+            bad.append((p["plan_seed"], p["failures"],
+                        res.summary["status"], res.summary["detail"]))
+        if args.stop_after and len(bad) >= args.stop_after:
+            break
 
     elapsed = time.time() - start
     print(f"\nswept {done}/{total} cases in {elapsed:.0f}s "
