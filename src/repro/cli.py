@@ -125,6 +125,17 @@ def _cmd_sweep(args) -> int:
                         progress=progress, timeout_s=args.timeout)
     hits = sum(r.cached for r in results)
     failed = [r for r in results if not r.ok]
+    if args.report:
+        from repro.obs.report import render_sweep_report
+        outdir = pathlib.Path(args.report)
+        outdir.mkdir(parents=True, exist_ok=True)
+        path = outdir / "sweep.html"
+        path.write_text(render_sweep_report(
+            f"Sweep report: {len(specs)} cells",
+            results,
+            subtitle=f"scale={args.scale}, {jobs} worker(s), cache "
+                     f"{'on' if use_cache else 'off'}"))
+        print(f"wrote {path}")
     print(f"{len(results) - len(failed)}/{len(results)} ok, "
           f"{hits} served from cache")
     width = max(len(r.spec.label) for r in results)
@@ -138,6 +149,72 @@ def _cmd_sweep(args) -> int:
             tail = res.error.strip().splitlines()[-1] if res.error else ""
             print(f"  {res.spec.label:{width}s}  {res.status}: {tail}")
     return 1 if failed else 0
+
+
+def _cmd_report(args) -> int:
+    """Run once with full observability attached and write a Perfetto
+    trace plus a self-contained HTML report."""
+    from repro.obs import FlightRecorder, StallWatchdog, TimeSeriesSampler
+    from repro.obs.report import render_run_report
+
+    if args.program_seed is not None:
+        from repro.verify.replay import ReplayScenario, build_runtime
+        scenario = ReplayScenario(
+            program_seed=args.program_seed, cluster_seed=args.cluster_seed,
+            plan_seed=args.plan_seed, failures=args.failures)
+        runtime = build_runtime(scenario)
+        title = (f"RandomProgram {args.program_seed}/{args.cluster_seed}"
+                 + (f", plan {args.plan_seed} x{args.failures} failure(s)"
+                    if args.plan_seed is not None else ""))
+        subtitle = "ft protocol, model-check scenario"
+    else:
+        from repro.harness.runner import SvmRuntime
+        factory = workload_factories(args.scale)[args.app]
+        config = evaluation_config(args.variant,
+                                   threads_per_node=args.threads)
+        runtime = SvmRuntime(config, factory())
+        title = f"{args.app} / {args.variant}"
+        subtitle = (f"{config.num_nodes} nodes x {args.threads} "
+                    f"thread(s), scale={args.scale}")
+
+    recorder = FlightRecorder(runtime)
+    sampler = TimeSeriesSampler(runtime, period_us=args.sample_us)
+    watchdog = StallWatchdog(runtime, horizon_us=args.watchdog_us,
+                             recorder=recorder)
+    sampler.start()
+    watchdog.start()
+    result, error = None, None
+    try:
+        result = runtime.run(max_sim_us=args.max_sim_us)
+    except Exception as exc:  # noqa: BLE001 -- reported in the output
+        error = f"{type(exc).__name__}: {exc}"
+
+    outdir = pathlib.Path(args.output)
+    outdir.mkdir(parents=True, exist_ok=True)
+    trace_path = outdir / "trace.json"
+    events = recorder.export(
+        trace_path,
+        counters=sampler.to_chrome_counters(recorder.cluster_pid))
+    html_path = outdir / "report.html"
+    html_path.write_text(render_run_report(
+        title, subtitle + (f" -- FAILED: {error}" if error else ""),
+        result=result, recorder=recorder, sampler=sampler,
+        watchdog=watchdog, trace_file=trace_path.name))
+    print(f"wrote {trace_path} ({events} events; open at "
+          "ui.perfetto.dev)")
+    print(f"wrote {html_path}")
+    if sampler.times:
+        from repro.metrics import timeseries_panel
+        times, rates = sampler.rates()
+        print()
+        print(timeseries_panel("protocol activity (events/ms)",
+                               times, rates))
+    if error:
+        print(f"run failed: {error}")
+        if watchdog.dumps:
+            print(watchdog.dumps[-1])
+        return 1
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -297,7 +374,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--timeout", type=float, default=None,
                          metavar="SEC",
                          help="per-cell wall-clock timeout")
+    p_sweep.add_argument("--report", metavar="DIR", default=None,
+                         help="also write a sweep-level HTML report "
+                              "(orchestrator stats, per-spec timing) "
+                              "into DIR")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report", help="run with observability on; write Perfetto "
+                       "trace + HTML report",
+        parents=[profiled])
+    p_report.add_argument("--app", choices=APP_ORDER, default="FFT")
+    p_report.add_argument("--variant", choices=("base", "ft"),
+                          default="ft")
+    p_report.add_argument("--threads", type=int, default=1)
+    p_report.add_argument("--scale", default="bench",
+                          choices=("test", "bench", "large"))
+    p_report.add_argument("--program-seed", type=int, default=None,
+                          help="report a RandomProgram model-check "
+                               "scenario instead of an application")
+    p_report.add_argument("--cluster-seed", type=int, default=1)
+    p_report.add_argument("--plan-seed", type=int, default=None)
+    p_report.add_argument("--failures", type=int, default=0)
+    p_report.add_argument("--output", default="results/report",
+                          metavar="DIR")
+    p_report.add_argument("--sample-us", type=float, default=500.0,
+                          help="time-series sampling period "
+                               "(simulated us)")
+    p_report.add_argument("--watchdog-us", type=float, default=20_000.0,
+                          help="stall watchdog zero-progress horizon "
+                               "(simulated us)")
+    p_report.add_argument("--max-sim-us", type=float, default=None,
+                          help="cap simulated time (deadlock hunts)")
+    p_report.set_defaults(fn=_cmd_report)
 
     p_prof = sub.add_parser("profile",
                             help="sharing + latency profile of one app",

@@ -27,13 +27,17 @@ class Hooks:
     DIFF_PHASE2_START = "diff_phase2_start"
     DIFF_PHASE2_DONE = "diff_phase2_done"
     RELEASE_DONE = "release_done"
+    CHECKPOINT_A_START = "checkpoint_a_start"
     CHECKPOINT_A = "checkpoint_a"
+    CHECKPOINT_B_START = "checkpoint_b_start"
     CHECKPOINT_B = "checkpoint_b"
     BARRIER_ENTER = "barrier_enter"
     BARRIER_EXIT = "barrier_exit"
+    ACQUIRE_START = "acquire_start"
     LOCK_ACQUIRED = "lock_acquired"
     LOCK_RELEASED = "lock_released"
     PAGE_FAULT = "page_fault"
+    PAGE_FAULT_DONE = "page_fault_done"
     FAILURE_DETECTED = "failure_detected"
     RECOVERY_START = "recovery_start"
     RECOVERY_DONE = "recovery_done"
@@ -57,5 +61,11 @@ class Hooks:
             self._subs[name].remove(fn)
 
     def fire(self, name: str, node_id: int, **info: Any) -> None:
-        for fn in list(self._subs.get(name, ())):
+        subs = self._subs.get(name)
+        if not subs:
+            # The common case on hot paths: nobody listening. Exit
+            # before the defensive copy so dense instrumentation stays
+            # near-free with observability off.
+            return
+        for fn in list(subs):
             fn(node_id, **info)

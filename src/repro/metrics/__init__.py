@@ -7,7 +7,7 @@ Public surface::
 """
 
 from repro.metrics.breakdown import Breakdown, Category, ThreadClock
-from repro.metrics.charts import overhead_bars, stacked_bars
+from repro.metrics.charts import overhead_bars, stacked_bars, timeseries_panel
 from repro.metrics.counters import NodeCounters, RunCounters
 from repro.metrics.latency import LatencyBook, LatencyStats
 from repro.metrics.sharing import PageProfile, SharingProfiler
@@ -31,6 +31,7 @@ __all__ = [
     "RunCounters",
     "stacked_bars",
     "overhead_bars",
+    "timeseries_panel",
     "LatencyBook",
     "LatencyStats",
     "SharingProfiler",

@@ -68,3 +68,48 @@ def overhead_bars(title: str, overheads: Mapping[str, float],
         filled = int(round(pct / peak * width))
         lines.append(f"{label:<{label_w}}|{'#' * filled} {pct:.1f}%")
     return "\n".join(lines)
+
+
+#: Eight-level block ramp used by the sparkline panel.
+SPARKS = " .:-=+*#"
+
+
+def timeseries_panel(title: str,
+                     times_us: Sequence[float],
+                     series: Mapping[str, Sequence[float]],
+                     width: int = 64) -> str:
+    """Render sampled time series as aligned text sparklines.
+
+    One row per series (insertion order): the values are bucketed onto
+    ``width`` columns of the shared time axis and drawn with an 8-level
+    density ramp, with the series peak printed at the row end. Consumes
+    the columnar output of
+    :class:`repro.obs.timeseries.TimeSeriesSampler` (``totals()`` /
+    ``rates()``) but accepts any label -> values mapping.
+    """
+    if not times_us or not series:
+        return title + "\n(no samples)"
+    t_lo, t_hi = times_us[0], times_us[-1]
+    span = (t_hi - t_lo) or 1.0
+    label_w = max(len(label) for label in series) + 2
+    lines = [title, "=" * len(title)]
+    for label, values in series.items():
+        values = list(values)[:len(times_us)]
+        buckets = [[] for _ in range(width)]
+        for t, v in zip(times_us, values):
+            col = min(int((t - t_lo) / span * width), width - 1)
+            buckets[col].append(v)
+        peak = max(values) if values else 0.0
+        row = []
+        for bucket in buckets:
+            if not bucket:
+                row.append(" ")
+                continue
+            level = (0 if peak <= 0 else
+                     int(max(bucket) / peak * (len(SPARKS) - 1)))
+            row.append(SPARKS[level])
+        lines.append(f"{label:<{label_w}}|{''.join(row)}| "
+                     f"peak {peak:g}")
+    lines.append(f"{'':<{label_w}} {t_lo / 1000:.1f}ms"
+                 f"{'':>{width - 14}}{t_hi / 1000:.1f}ms")
+    return "\n".join(lines)

@@ -39,13 +39,20 @@ DEFAULT_EVENTS = (
 
 #: Everything, including the dense per-diff / per-checkpoint events --
 #: what ``repro replay`` records so a bisection can step between
-#: individual diff sends, applies, checkpoint stores and home remaps.
+#: individual diff sends, applies, checkpoint stores and home remaps --
+#: plus the span-begin hooks the flight recorder turns into duration
+#: slices (lock wait, page-fault service, diff phase 1, checkpoints).
 FULL_EVENTS = DEFAULT_EVENTS + (
     Hooks.DIFF_SEND,
     Hooks.DIFF_APPLY,
     Hooks.HOME_REMAP,
     Hooks.RECOVERY_RECONCILE,
     Hooks.CHECKPOINT_STORED,
+    Hooks.ACQUIRE_START,
+    Hooks.PAGE_FAULT_DONE,
+    Hooks.DIFF_PHASE1_START,
+    Hooks.CHECKPOINT_A_START,
+    Hooks.CHECKPOINT_B_START,
 )
 
 
@@ -137,7 +144,16 @@ class ProtocolTrace:
 
         Captures happened-before protocol invariants, e.g. every
         DIFF_PHASE2_START must follow a DIFF_PHASE1_DONE of the same
-        node (point B before the committed-copy update)."""
+        node (point B before the committed-copy update).
+
+        A trace that overflowed its capacity has lost its oldest
+        events, so counting-based ordering claims are meaningless on
+        it; that failure mode is loud, not silent."""
+        if self.dropped:
+            raise AssertionError(
+                f"trace dropped {self.dropped} event(s) (capacity "
+                f"{self.capacity}); ordering assertions are unreliable "
+                f"on a truncated log -- raise the capacity")
         counts: dict = {}
         for ev in self._events:
             if node is not None and ev.node != node:
@@ -162,15 +178,19 @@ class ProtocolTrace:
     # -- structured persistence (the ``repro replay`` format) -----------
 
     def export_jsonl(self, path, header: Optional[dict] = None) -> int:
-        """Write the trace as JSON lines: one optional header object
+        """Write the trace as JSON lines: one header object
         (``{"header": {...}}``) followed by one event per line.
-        Returns the number of events written."""
+        Returns the number of events written.
+
+        Deque eviction is not silent: the header always carries a
+        ``dropped_events`` count so a consumer (``load_jsonl``, replay,
+        ordering checks) can tell a complete log from a truncated one.
+        """
         count = 0
+        merged = dict(_jsonable(header)) if header is not None else {}
+        merged["dropped_events"] = self.dropped
         with open(path, "w") as fh:
-            if header is not None:
-                fh.write(json.dumps({"header": _jsonable(header)}) + "\n")
-            if self.dropped:
-                fh.write(json.dumps({"dropped": self.dropped}) + "\n")
+            fh.write(json.dumps({"header": merged}) + "\n")
             for ev in self._events:
                 fh.write(json.dumps({
                     "t": ev.time_us, "event": ev.event, "node": ev.node,

@@ -1,0 +1,33 @@
+"""Invocation counters proving observability is zero-cost when off.
+
+Every hook closure the recorder installs, every sampler tick and every
+watchdog check bumps a counter here. A run with observability disabled
+must leave all counters at zero -- that is the testable statement of
+"the flight recorder costs nothing unless attached", and it is what
+keeps the BENCH_hotpaths perf gate honest (see
+``tests/obs/test_overhead_off.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: obs-code invocations since the last :func:`reset`, by component.
+CALLS: Dict[str, int] = {"recorder": 0, "sampler": 0, "watchdog": 0}
+
+
+def bump(component: str) -> None:
+    CALLS[component] += 1
+
+
+def reset() -> None:
+    for key in CALLS:
+        CALLS[key] = 0
+
+
+def snapshot() -> Dict[str, int]:
+    return dict(CALLS)
+
+
+def total() -> int:
+    return sum(CALLS.values())

@@ -81,6 +81,13 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
     if params.get("check"):
         from repro.verify import RecoveryInvariantChecker
         checker = RecoveryInvariantChecker(runtime, strict=False)
+    recorder = None
+    if params.get("trace_digest"):
+        # Observability determinism probe: the flight-recorder trace is
+        # a function of the seeds alone, so its digest must not depend
+        # on worker placement or job count.
+        from repro.obs import FlightRecorder
+        recorder = FlightRecorder(runtime)
     status, detail = "ok", ""
     try:
         result = runtime.run(max_sim_us=params.get("max_sim_us"))
@@ -92,10 +99,13 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
     except Exception as exc:  # noqa: BLE001 -- classified, not hidden
         return {"status": type(exc).__name__, "detail": str(exc),
                 "elapsed_us": runtime.engine.now}
-    return {"status": status, "detail": detail,
-            "elapsed_us": result.elapsed_us,
-            "recoveries": result.recoveries,
-            "data_checksum": _data_checksum(runtime)}
+    summary = {"status": status, "detail": detail,
+               "elapsed_us": result.elapsed_us,
+               "recoveries": result.recoveries,
+               "data_checksum": _data_checksum(runtime)}
+    if recorder is not None:
+        summary["trace_digest"] = recorder.digest()
+    return summary
 
 
 RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {

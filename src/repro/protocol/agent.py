@@ -273,6 +273,7 @@ class SvmNodeAgent:
         thread.clock.push(Category.DATA_WAIT)
         fault_start = self.engine.now
         mtx = self._fault_mutex(page)
+        fault_observed = False
         try:
             yield from self.blocked_wait(mtx.acquire())
             try:
@@ -291,7 +292,8 @@ class SvmNodeAgent:
                 else:
                     self.counters.read_faults += 1
                 self.hooks.fire(Hooks.PAGE_FAULT, self.node_id, page=page,
-                                write=write)
+                                write=write, tid=thread.thread_id)
+                fault_observed = True
                 yield Delay(self.costs.page_fault_handler_us)
                 # FT: faults on pages locked by an outstanding release
                 # stall until the release completes (paper Fig 4).
@@ -303,6 +305,13 @@ class SvmNodeAgent:
             finally:
                 mtx.release()
         finally:
+            if fault_observed:
+                # Balanced with PAGE_FAULT even when the service is cut
+                # short (recovery abort, node death): the span end fires
+                # from the finally so trace spans always close.
+                self.hooks.fire(Hooks.PAGE_FAULT_DONE, self.node_id,
+                                page=page, write=write,
+                                tid=thread.thread_id)
             self.latency.record(PAGE_FAULT, self.engine.now - fault_start)
             thread.clock.pop(Category.DATA_WAIT)
 
@@ -562,16 +571,20 @@ class SvmNodeAgent:
 
     def acquire_op(self, thread, lock_id: int):
         yield Delay(self.costs.acquire_base_us)
+        self.hooks.fire(Hooks.ACQUIRE_START, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         grant_ts = yield from self.locks.acquire(lock_id)
         self.counters.acquires += 1
         yield from thread.clock.in_category(
             Category.PROTOCOL, self._apply_incoming_ts(grant_ts))
-        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         return None
 
     def release_op(self, thread, lock_id: int):
         self.counters.releases += 1
-        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         yield Delay(self.costs.release_base_us)
         pages = yield from thread.clock.in_category(
             Category.PROTOCOL, self._commit_interval(thread))
@@ -579,9 +592,11 @@ class SvmNodeAgent:
         # Base protocol: hand the lock over before propagating diffs
         # (version gating keeps fetches correct).
         yield from self.locks.release(lock_id, self.ts.copy())
-        self.hooks.fire(Hooks.LOCK_RELEASED, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.LOCK_RELEASED, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         yield from self._propagate_updates(thread, pages, interval)
-        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         return None
 
     def _apply_incoming_ts(self, grant_ts: Optional[VectorTimestamp]):

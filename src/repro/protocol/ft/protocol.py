@@ -335,10 +335,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
 
     def release_op(self, thread, lock_id: int):
         self.counters.releases += 1
-        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.RELEASE_START, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         yield from self._recovery_retry(
             thread, lambda: self._release_pipeline(thread, lock_id))
-        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.RELEASE_DONE, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         return None
 
     def _acquire_release_slot(self, thread):
@@ -369,10 +371,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
             yield from self._prepare_release(thread, fl)
             fl.stage = STAGE_PHASE1
         if fl.stage == STAGE_PHASE1:
+            self.hooks.fire(Hooks.DIFF_PHASE1_START, self.node_id,
+                            seq=fl.seq, tid=thread.thread_id)
             yield from thread.clock.in_category(
                 Category.DIFF, self._send_diffs(fl, "tent"))
             self.hooks.fire(Hooks.DIFF_PHASE1_DONE, self.node_id,
-                            seq=fl.seq)
+                            seq=fl.seq, tid=thread.thread_id)
             fl.stage = STAGE_POINT_B
         if fl.stage == STAGE_POINT_B:
             yield from thread.clock.in_category(
@@ -382,10 +386,10 @@ class FtSvmNodeAgent(SvmNodeAgent):
             if fl.lock_id is not None:
                 yield from self.locks.release(fl.lock_id, self.ts.copy())
                 self.hooks.fire(Hooks.LOCK_RELEASED, self.node_id,
-                                lock=fl.lock_id)
+                                lock=fl.lock_id, tid=thread.thread_id)
             fl.stage = STAGE_PHASE2
             self.hooks.fire(Hooks.DIFF_PHASE2_START, self.node_id,
-                            seq=fl.seq)
+                            seq=fl.seq, tid=thread.thread_id)
         if fl.stage == STAGE_PHASE2:
             yield from thread.clock.in_category(
                 Category.DIFF, self._send_diffs(fl, "comm"))
@@ -393,7 +397,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
             del self._inflight[tid]
             self._free_release_slot()
             self.hooks.fire(Hooks.DIFF_PHASE2_DONE, self.node_id,
-                            seq=fl.seq)
+                            seq=fl.seq, tid=thread.thread_id)
         return None
 
     def _commit_for_release(self, thread, lock_id: Optional[int]) -> None:
@@ -546,19 +550,24 @@ class FtSvmNodeAgent(SvmNodeAgent):
         whose interval contains the matching data."""
         if not self.config.protocol.checkpointing:
             return None
+        self.hooks.fire(Hooks.CHECKPOINT_A_START, self.node_id,
+                        seq=fl.seq, tid=thread.thread_id)
         peer_tids = sorted(tid for tid in fl.state_blobs
                            if tid != thread.thread_id)
         yield Delay(self.costs.thread_suspend_us * len(peer_tids))
         for tid in peer_tids:
             yield from self._ship_thread_state(
                 tid, fl.seq, fl.state_blobs[tid])
-        self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=fl.seq)
+        self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=fl.seq,
+                        tid=thread.thread_id)
         return None
 
     def _point_b(self, thread, fl: _InflightRelease):
         """Save our timestamp and the releaser's own state remotely;
         after this the release is conceptually complete."""
         backup = self.homes.backup_node(self.node_id)
+        self.hooks.fire(Hooks.CHECKPOINT_B_START, self.node_id,
+                        seq=fl.seq, tid=thread.thread_id)
         if self.config.protocol.checkpointing:
             # The releaser runs only protocol code during its own
             # pipeline, so its commit-frozen state is its current one.
@@ -573,7 +582,8 @@ class FtSvmNodeAgent(SvmNodeAgent):
             ("complete", self.node_id, fl.seq, self.ts.encode()),
             body_bytes=16 + self.ts.wire_bytes, wait=True)
         self.published_interval = self.interval_no
-        self.hooks.fire(Hooks.CHECKPOINT_B, self.node_id, seq=fl.seq)
+        self.hooks.fire(Hooks.CHECKPOINT_B, self.node_id, seq=fl.seq,
+                        tid=thread.thread_id)
         return None
 
     def _ship_thread_state(self, tid: int, seq: int, blob: bytes):
@@ -643,13 +653,16 @@ class FtSvmNodeAgent(SvmNodeAgent):
 
     def acquire_op(self, thread, lock_id: int):
         yield Delay(self.costs.acquire_base_us)
+        self.hooks.fire(Hooks.ACQUIRE_START, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         grant_ts = yield from self._recovery_retry(
             thread, lambda: self.locks.acquire(lock_id))
         self.counters.acquires += 1
         yield from self._recovery_retry(
             thread, lambda: thread.clock.in_category(
                 Category.PROTOCOL, self._apply_incoming_ts(grant_ts)))
-        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id)
+        self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id,
+                        tid=thread.thread_id)
         return None
 
     def _internode_barrier(self, thread, barrier_id: int, state):

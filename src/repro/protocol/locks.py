@@ -109,7 +109,9 @@ class LockManagerBase:
             # invalidations (same node => updates already visible); a
             # "retry" wake means the holder released globally (or its
             # acquire aborted) and we must contend from scratch.
-            ev = Event(self.engine, "lock.localwait")
+            # Named per lock so stall diagnostics (the obs watchdog's
+            # wait-for graph) can tell which lock the thread queues on.
+            ev = Event(self.engine, f"lock{lock_id}.localwait")
             st.waiters.append(ev)
             outcome = yield from self.agent.blocked_wait(ev)
             if outcome == "handoff":

@@ -41,12 +41,16 @@ class _ScheduledEvent:
     determinism -- are unchanged.
     """
 
-    __slots__ = ("time", "action", "cancelled")
+    __slots__ = ("time", "action", "cancelled", "passive")
 
     def __init__(self, time: float, action: Callable[[], None]) -> None:
         self.time = time
         self.action = action
         self.cancelled = False
+        #: Passive events (metronome ticks) observe the simulation but
+        #: are not themselves work: they never justify keeping the
+        #: event list alive.
+        self.passive = False
 
     def cancel(self) -> None:
         """Prevent the action from running; the heap entry is left lazily."""
@@ -144,3 +148,38 @@ class Engine:
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else None
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of pending (non-cancelled) entries in the event list.
+
+        An observability gauge: cancelled entries are lazily discarded
+        by ``run``/``peek``, so subtract them rather than scanning."""
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
+
+    def metronome(self, period: float, action: Callable[[], None],
+                  priority: int = PRIORITY_LATE) -> None:
+        """Run ``action()`` every ``period`` time units while the
+        simulation is still live.
+
+        The next tick is armed only while *active* (non-metronome)
+        events remain pending, so a metronome never keeps ``run()``
+        from draining the event list -- a plain self-rescheduling event
+        would tick forever, and two metronomes gating only on "is the
+        heap non-empty" would keep each other alive. Ticks run at
+        ``PRIORITY_LATE`` by default so samplers observe the state
+        *after* the normal events of their timestamp.
+        """
+        if period <= 0:
+            raise SimulationError(f"metronome period must be > 0: {period}")
+
+        def has_active_pending() -> bool:
+            return any(not entry[3].cancelled and not entry[3].passive
+                       for entry in self._heap)
+
+        def tick() -> None:
+            action()
+            if has_active_pending():
+                self.schedule(period, tick, priority).passive = True
+
+        self.schedule(period, tick, priority).passive = True

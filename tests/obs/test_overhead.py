@@ -1,0 +1,49 @@
+"""Observability must cost nothing when it is off.
+
+The hook bus early-returns when no subscriber is registered, so a run
+without a recorder/sampler/watchdog attached must execute *zero*
+observability callbacks -- not "few", zero. Every obs closure bumps a
+module-level call counter (repro.obs.instrumentation) precisely so this
+test can count them; the figure-7 benchmark gate then inherits the
+guarantee that BENCH_hotpaths numbers are unaffected.
+"""
+
+from repro.harness.experiments import run_app
+from repro.obs import FlightRecorder, TimeSeriesSampler, StallWatchdog
+from repro.obs import instrumentation
+from repro.verify.replay import ReplayScenario, build_runtime
+
+
+def test_figure7_cell_with_obs_off_invokes_no_hooks():
+    instrumentation.reset()
+    result = run_app("FFT", "ft", scale="test")
+    assert result.elapsed_us > 0
+    snap = instrumentation.snapshot()
+    assert snap == {"recorder": 0, "sampler": 0, "watchdog": 0}, snap
+
+
+def test_counters_move_when_obs_is_on():
+    instrumentation.reset()
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1, plan_seed=533, failures=0))
+    recorder = FlightRecorder(runtime)
+    sampler = TimeSeriesSampler(runtime, period_us=500.0)
+    sampler.start()
+    dog = StallWatchdog(runtime, horizon_us=50_000.0)
+    dog.start()
+    runtime.run()
+    recorder.detach()
+    snap = instrumentation.snapshot()
+    assert snap["recorder"] > 0
+    assert snap["sampler"] > 0
+    assert snap["watchdog"] > 0
+
+
+def test_detach_unsubscribes():
+    instrumentation.reset()
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1, plan_seed=533, failures=0))
+    recorder = FlightRecorder(runtime)
+    recorder.detach()
+    runtime.run()
+    assert instrumentation.snapshot()["recorder"] == 0

@@ -1,0 +1,67 @@
+"""Time-series sampler: cadence, columnar layout, and derived views."""
+
+from repro.metrics import timeseries_panel
+from repro.obs import TimeSeriesSampler
+from repro.verify.replay import ReplayScenario, build_runtime
+
+
+def _sampled(period_us=500.0, failures=0):
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1, plan_seed=533,
+        failures=failures))
+    sampler = TimeSeriesSampler(runtime, period_us=period_us)
+    sampler.start()
+    runtime.run()
+    return runtime, sampler
+
+
+def test_samples_on_the_metronome():
+    runtime, sampler = _sampled(period_us=500.0)
+    times = sampler.times
+    assert times[0] == 0.0
+    deltas = [b - a for a, b in zip(times, times[1:])]
+    assert deltas and all(abs(d - 500.0) < 1e-6 for d in deltas)
+    # The metronome is passive: it must not keep the engine alive past
+    # the workload, so sampling stops when the run does.
+    assert times[-1] <= runtime.engine.now
+
+
+def test_series_are_columnar_and_aligned():
+    _, sampler = _sampled()
+    n = len(sampler.times)
+    assert n > 2
+    for key, column in sampler.series.items():
+        assert len(column) == n, f"ragged column {key}"
+    totals = sampler.totals()
+    assert totals["page_faults"][-1] > 0
+
+
+def test_rates_are_nonnegative():
+    _, sampler = _sampled()
+    times, rates = sampler.rates()
+    assert len(times) == len(sampler.times) - 1
+    for field, column in rates.items():
+        assert all(v >= 0 for v in column), field
+
+
+def test_gauges_track_queue_depth():
+    _, sampler = _sampled()
+    depth = sampler.gauge("engine.queue_depth")
+    assert len(depth) == len(sampler.times)
+    assert max(depth) > 0
+
+
+def test_chrome_counter_events():
+    runtime, sampler = _sampled()
+    events = sampler.to_chrome_counters(
+        cluster_pid=runtime.config.num_nodes)
+    assert events
+    assert all(ev["ph"] == "C" for ev in events)
+
+
+def test_timeseries_panel_renders():
+    _, sampler = _sampled()
+    times, rates = sampler.rates()
+    panel = timeseries_panel("activity", times, rates)
+    assert "page_faults" in panel
+    assert "peak" in panel

@@ -1,0 +1,87 @@
+"""Stall watchdog against the two known-deadlocking fault schedules.
+
+Plans 537x2 and 612x2 (seed 145/1) hang after their second recovery --
+tracked as xfail regressions in tests/integration. The watchdog's job is
+to turn that silent hang into an actionable wait-for dump, so these
+tests assert it fires, names the blocked threads, and surfaces the
+barrier state and in-flight releases that the post-mortem in
+docs/RECOVERY.md is built on.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.obs import StallWatchdog, build_waitfor, format_waitfor
+from repro.verify.replay import ReplayScenario, build_runtime
+
+DEADLOCK_PLANS = [537, 612]
+
+
+def _run_deadlock(plan_seed):
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1,
+        plan_seed=plan_seed, failures=2))
+    dog = StallWatchdog(runtime, horizon_us=20_000.0)
+    dog.start()
+    with pytest.raises(ProtocolError):
+        runtime.run(max_sim_us=200_000.0)
+    return runtime, dog
+
+
+@pytest.mark.parametrize("plan_seed", DEADLOCK_PLANS)
+def test_watchdog_fires_on_deadlock(plan_seed):
+    runtime, dog = _run_deadlock(plan_seed)
+    assert dog.dumps, "watchdog never fired on a known deadlock"
+    report = dog.dumps[0]
+    assert "wait-for graph" in report
+    assert "thread" in report
+    # The dump must name at least one blocked thread with its wait
+    # reason; both plans stall with a survivor parked on barrier 0.
+    assert "barrier" in report
+    graph = dog.graphs[0]
+    waiting = [t for t in graph["threads"]
+               if t["waiting"] and not t["finished"]]
+    assert waiting, "graph shows no blocked threads"
+    assert any(t["kind"] == "barrier" for t in waiting)
+
+
+@pytest.mark.parametrize("plan_seed", DEADLOCK_PLANS)
+def test_waitfor_graph_shows_stalled_state(plan_seed):
+    runtime, dog = _run_deadlock(plan_seed)
+    graph = dog.graphs[-1]
+    # Both schedules end with two detected failures and a barrier
+    # generation waiting on an arrival that can never come.
+    assert len(graph["homes"]["failed"]) == 2
+    # The stuck barrier shows up either as a generation with missing
+    # arrivals at the manager (537x2) or, when the arrival itself was
+    # lost across the manager change, as a thread parked forever on the
+    # barrier event with no generation open at all (612x2).
+    stalled_barriers = [b for b in graph["barriers"] if b["missing"]]
+    barrier_waiters = [t for t in graph["threads"]
+                       if not t["finished"] and t["kind"] == "barrier"]
+    assert stalled_barriers or barrier_waiters
+    # An in-flight release frozen mid-protocol on a dead node is the
+    # other half of the post-mortem; 537x2 and 612x2 both exhibit one.
+    frozen = [entry for node in graph["inflight"].values()
+              for entry in node]
+    assert frozen, "no in-flight release captured"
+    assert all("stage" in entry for entry in frozen)
+
+
+def test_watchdog_is_quiet_on_clean_run():
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1, plan_seed=533, failures=2))
+    dog = StallWatchdog(runtime, horizon_us=20_000.0)
+    dog.start()
+    runtime.run()
+    assert not dog.dumps
+
+
+def test_format_waitfor_renders_live_runtime():
+    runtime = build_runtime(ReplayScenario(
+        program_seed=145, cluster_seed=1, plan_seed=533, failures=0))
+    runtime.run()
+    graph = build_waitfor(runtime)
+    text = format_waitfor(graph, horizon_us=1000.0)
+    assert "wait-for graph" in text
+    assert "thread 0" in text
