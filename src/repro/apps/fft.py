@@ -85,11 +85,15 @@ class FFT(Workload):
 
     def init_kernel(self, ctx: AppContext):
         rng = np.random.default_rng(self.seed + ctx.tid)
-        for row in self._row_block(ctx.tid, ctx.nthreads):
-            data = (rng.standard_normal(self.side)
-                    + 1j * rng.standard_normal(self.side))
-            yield from ctx.svm.write_array(
-                self._row_addr(self.src, row), data.astype(np.complex128))
+        rows = self._row_block(ctx.tid, ctx.nthreads)
+        # Per-row draws keep the rng stream identical to the original
+        # loop; the row block is contiguous, so one span write suffices.
+        block = np.empty((len(rows), self.side), dtype=np.complex128)
+        for bi in range(len(rows)):
+            block[bi] = (rng.standard_normal(self.side)
+                         + 1j * rng.standard_normal(self.side))
+        yield from ctx.svm.write_array(
+            self._row_addr(self.src, rows.start), block)
         return None
 
     def kernel(self, ctx: AppContext):
@@ -103,20 +107,26 @@ class FFT(Workload):
             ctx.done("t1")
         yield from ctx.barrier(self.BARRIER_A)
 
-        # Step 2+3: row FFTs on dst, then twiddle.
+        # Step 2+3: row FFTs on dst, then twiddle. The row block is
+        # contiguous, so the whole phase is one span read, per-row
+        # compute charges, and one span write-back (no other thread
+        # touches these rows until the next barrier).
         if ctx.pending("fft1"):
-            for row in rows:
-                addr = self._row_addr(self.dst, row)
-                vec = yield from ctx.svm.read_array(addr, np.complex128,
-                                                    self.side)
+            block = yield from ctx.svm.read_array(
+                self._row_addr(self.dst, rows.start), np.complex128,
+                len(rows) * self.side)
+            block = block.reshape(len(rows), self.side)
+            col = np.arange(self.side)
+            for bi, row in enumerate(rows):
                 yield from ctx.svm.compute(
                     COMPUTE_US_PER_POINT_LOG * self.side * log_side)
-                out = np.fft.fft(vec)
-                col = np.arange(self.side)
+                out = np.fft.fft(block[bi])
                 tw = np.exp(-2j * np.pi * row * col / self.n)
                 yield from ctx.svm.compute(
                     TWIDDLE_US_PER_POINT * self.side)
-                yield from ctx.svm.write_array(addr, out * tw)
+                block[bi] = out * tw
+            yield from ctx.svm.write_array(
+                self._row_addr(self.dst, rows.start), block)
             ctx.done("fft1")
         yield from ctx.barrier(self.BARRIER_B)
 
@@ -126,15 +136,18 @@ class FFT(Workload):
             ctx.done("t2")
         yield from ctx.barrier(self.BARRIER_C)
 
-        # Step 5: row FFTs on src.
+        # Step 5: row FFTs on src (same batched structure as fft1).
         if ctx.pending("fft2"):
-            for row in rows:
-                addr = self._row_addr(self.src, row)
-                vec = yield from ctx.svm.read_array(addr, np.complex128,
-                                                    self.side)
+            block = yield from ctx.svm.read_array(
+                self._row_addr(self.src, rows.start), np.complex128,
+                len(rows) * self.side)
+            block = block.reshape(len(rows), self.side)
+            for bi in range(len(rows)):
                 yield from ctx.svm.compute(
                     COMPUTE_US_PER_POINT_LOG * self.side * log_side)
-                yield from ctx.svm.write_array(addr, np.fft.fft(vec))
+                block[bi] = np.fft.fft(block[bi])
+            yield from ctx.svm.write_array(
+                self._row_addr(self.src, rows.start), block)
             ctx.done("fft2")
         yield from ctx.barrier(3)
 

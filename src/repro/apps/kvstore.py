@@ -64,10 +64,11 @@ class KVStore(Workload):
         per = self.buckets // ctx.nthreads
         lo = ctx.tid * per
         hi = self.buckets if ctx.tid == ctx.nthreads - 1 else lo + per
-        for b in range(lo, hi):
-            yield from ctx.svm.write_array(
-                self._row_addr(b),
-                np.array([self.initial, 0], dtype=np.int64))
+        # Our bucket rows are contiguous: one batched span write of the
+        # [balance, version] pairs.
+        rows = np.zeros((hi - lo, 2), dtype=np.int64)
+        rows[:, 0] = self.initial
+        yield from ctx.svm.write_array(self._row_addr(lo), rows)
         return None
 
     def _stream(self, tid: int):

@@ -105,14 +105,16 @@ class RadixSort(Workload):
             rng_ = self._my_range(ctx)
 
             # Zero our column of the histogram (thread 0 zeroes totals).
+            # Column slots are strided (bucket-major layout), so these
+            # stay per-access; the scalar accessor writes the same
+            # bytes as a one-element array without the numpy boxing.
             if ctx.pending("zero"):
-                zero = np.zeros(1, dtype=np.int64)
                 for b in range(self.radix):
-                    yield from ctx.svm.write_array(
-                        self._hist_addr(b, ctx.tid + 1, nt), zero)
+                    yield from ctx.svm.write_i64(
+                        self._hist_addr(b, ctx.tid + 1, nt), 0)
                     if ctx.tid == 0:
-                        yield from ctx.svm.write_array(
-                            self._hist_addr(b, 0, nt), zero)
+                        yield from ctx.svm.write_i64(
+                            self._hist_addr(b, 0, nt), 0)
                 ctx.done("zero")
             yield from ctx.barrier(self.BARRIER_A, key=p)
 
@@ -128,9 +130,8 @@ class RadixSort(Workload):
             # totals under the bucket-group locks (RMW).
             for b in ctx.range(("bkt", p), self.radix):
                 count = int(local_counts[b])
-                yield from ctx.svm.write_array(
-                    self._hist_addr(b, ctx.tid + 1, nt),
-                    np.array([count], dtype=np.int64))
+                yield from ctx.svm.write_i64(
+                    self._hist_addr(b, ctx.tid + 1, nt), count)
                 yield from ctx.svm.acquire(self.bucket_lock(b))
                 total = yield from ctx.svm.read_i64(
                     self._hist_addr(b, 0, nt))
@@ -158,12 +159,12 @@ class RadixSort(Workload):
                 yield from ctx.svm.compute(PERMUTE_US_PER_KEY * len(rng_))
                 offsets = dict(my_base)
                 for key in mine:
-                    b = int((int(key) >> shift) & mask)
+                    key = int(key)
+                    b = (key >> shift) & mask
                     target = offsets[b]
                     offsets[b] = target + 1
-                    yield from ctx.svm.write_array(
-                        dst_seg.addr(target * self._ITEM),
-                        np.array([key], dtype=np.int64))
+                    yield from ctx.svm.write_i64(
+                        dst_seg.addr(target * self._ITEM), key)
                 ctx.done("permute")
             yield from ctx.barrier(self.BARRIER_C, key=p)
             ctx.reset("zero")

@@ -96,13 +96,16 @@ class WaterNsquared(Workload):
 
     def init_kernel(self, ctx: AppContext):
         pos0, vel0 = self._initial_state()
-        for m in self._my_mols(ctx):
-            yield from ctx.svm.write_array(self.pos.addr(m * self._VEC),
-                                           pos0[m])
-            yield from ctx.svm.write_array(self.vel.addr(m * self._VEC),
-                                           vel0[m])
-            yield from ctx.svm.write_array(self.forces.addr(m * self._VEC),
-                                           np.zeros(3))
+        mols = self._my_mols(ctx)
+        lo, hi = mols.start, mols.stop
+        # Our molecule block is contiguous in every array: three span
+        # writes instead of three writes per molecule.
+        yield from ctx.svm.write_array(self.pos.addr(lo * self._VEC),
+                                       pos0[lo:hi])
+        yield from ctx.svm.write_array(self.vel.addr(lo * self._VEC),
+                                       vel0[lo:hi])
+        yield from ctx.svm.write_array(self.forces.addr(lo * self._VEC),
+                                       np.zeros((hi - lo, 3)))
         return None
 
     @staticmethod
@@ -113,15 +116,21 @@ class WaterNsquared(Workload):
     def kernel(self, ctx: AppContext):
         for _step in ctx.range("step", self.steps):
             # -- predict: integrate own positions (owner-computes) ----
+            # Batched: our block is contiguous, so the whole phase is
+            # two span reads, one aggregate compute charge, one span
+            # write.
             if ctx.pending("predict"):
-                for m in self._my_mols(ctx):
-                    p = yield from ctx.svm.read_array(
-                        self.pos.addr(m * self._VEC), np.float64, 3)
-                    v = yield from ctx.svm.read_array(
-                        self.vel.addr(m * self._VEC), np.float64, 3)
-                    yield from ctx.svm.compute(UPDATE_US)
-                    yield from ctx.svm.write_array(
-                        self.pos.addr(m * self._VEC), p + v * self.dt)
+                mols = self._my_mols(ctx)
+                lo, hi = mols.start, mols.stop
+                p = yield from ctx.svm.read_array(
+                    self.pos.addr(lo * self._VEC), np.float64,
+                    3 * (hi - lo))
+                v = yield from ctx.svm.read_array(
+                    self.vel.addr(lo * self._VEC), np.float64,
+                    3 * (hi - lo))
+                yield from ctx.svm.compute(UPDATE_US * (hi - lo))
+                yield from ctx.svm.write_array(
+                    self.pos.addr(lo * self._VEC), p + v * self.dt)
                 ctx.done("predict")
             yield from ctx.barrier(self.BARRIER_A, key=_step)
 
@@ -164,16 +173,20 @@ class WaterNsquared(Workload):
 
             # -- correct: velocity update + force reset (own mols) ----
             if ctx.pending("correct"):
-                for m in self._my_mols(ctx):
-                    f = yield from ctx.svm.read_array(
-                        self.forces.addr(m * self._VEC), np.float64, 3)
-                    v = yield from ctx.svm.read_array(
-                        self.vel.addr(m * self._VEC), np.float64, 3)
-                    yield from ctx.svm.compute(UPDATE_US)
-                    yield from ctx.svm.write_array(
-                        self.vel.addr(m * self._VEC), v + f * self.dt)
-                    yield from ctx.svm.write_array(
-                        self.forces.addr(m * self._VEC), np.zeros(3))
+                mols = self._my_mols(ctx)
+                lo, hi = mols.start, mols.stop
+                f = yield from ctx.svm.read_array(
+                    self.forces.addr(lo * self._VEC), np.float64,
+                    3 * (hi - lo))
+                v = yield from ctx.svm.read_array(
+                    self.vel.addr(lo * self._VEC), np.float64,
+                    3 * (hi - lo))
+                yield from ctx.svm.compute(UPDATE_US * (hi - lo))
+                yield from ctx.svm.write_array(
+                    self.vel.addr(lo * self._VEC), v + f * self.dt)
+                yield from ctx.svm.write_array(
+                    self.forces.addr(lo * self._VEC),
+                    np.zeros((hi - lo, 3)))
                 ctx.done("correct")
             yield from ctx.barrier(self.BARRIER_C, key=_step)
             ctx.reset("predict")

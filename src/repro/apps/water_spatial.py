@@ -109,13 +109,14 @@ class WaterSpatial(Workload):
     def init_kernel(self, ctx: AppContext):
         _order, ranges, pos, vel = self._band_layout(ctx.nthreads)
         lo, hi = ranges[ctx.tid]
-        for m in range(lo, hi):
-            yield from ctx.svm.write_array(self.pos.addr(m * self._VEC),
-                                           pos[m])
-            yield from ctx.svm.write_array(self.vel.addr(m * self._VEC),
-                                           vel[m])
+        if hi > lo:
+            # Band-contiguous layout: one span write per array.
+            yield from ctx.svm.write_array(self.pos.addr(lo * self._VEC),
+                                           pos[lo:hi])
+            yield from ctx.svm.write_array(self.vel.addr(lo * self._VEC),
+                                           vel[lo:hi])
             yield from ctx.svm.write_array(
-                self.forces.addr(m * self._VEC), np.zeros(3))
+                self.forces.addr(lo * self._VEC), np.zeros((hi - lo, 3)))
         return None
 
     @staticmethod
@@ -149,14 +150,16 @@ class WaterSpatial(Workload):
 
         for _step in ctx.range("step", self.steps):
             if ctx.pending("predict"):
-                for m in range(lo, hi):
+                if hi > lo:
                     p = yield from ctx.svm.read_array(
-                        self.pos.addr(m * self._VEC), np.float64, 3)
+                        self.pos.addr(lo * self._VEC), np.float64,
+                        3 * (hi - lo))
                     v = yield from ctx.svm.read_array(
-                        self.vel.addr(m * self._VEC), np.float64, 3)
-                    yield from ctx.svm.compute(UPDATE_US)
+                        self.vel.addr(lo * self._VEC), np.float64,
+                        3 * (hi - lo))
+                    yield from ctx.svm.compute(UPDATE_US * (hi - lo))
                     yield from ctx.svm.write_array(
-                        self.pos.addr(m * self._VEC), p + v * dt)
+                        self.pos.addr(lo * self._VEC), p + v * dt)
                 ctx.done("predict")
             yield from ctx.barrier(self.BARRIER_A, key=_step)
 
@@ -209,16 +212,19 @@ class WaterSpatial(Workload):
             yield from ctx.barrier(self.BARRIER_B, key=_step)
 
             if ctx.pending("correct"):
-                for m in range(lo, hi):
+                if hi > lo:
                     f = yield from ctx.svm.read_array(
-                        self.forces.addr(m * self._VEC), np.float64, 3)
+                        self.forces.addr(lo * self._VEC), np.float64,
+                        3 * (hi - lo))
                     v = yield from ctx.svm.read_array(
-                        self.vel.addr(m * self._VEC), np.float64, 3)
-                    yield from ctx.svm.compute(UPDATE_US)
+                        self.vel.addr(lo * self._VEC), np.float64,
+                        3 * (hi - lo))
+                    yield from ctx.svm.compute(UPDATE_US * (hi - lo))
                     yield from ctx.svm.write_array(
-                        self.vel.addr(m * self._VEC), v + f * dt)
+                        self.vel.addr(lo * self._VEC), v + f * dt)
                     yield from ctx.svm.write_array(
-                        self.forces.addr(m * self._VEC), np.zeros(3))
+                        self.forces.addr(lo * self._VEC),
+                        np.zeros((hi - lo, 3)))
                 ctx.done("correct")
             yield from ctx.barrier(self.BARRIER_C, key=_step)
             ctx.reset("predict")

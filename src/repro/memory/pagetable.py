@@ -82,6 +82,34 @@ class PageTable:
             ent.faults += 1
             raise ProtectionFault(page_id, "write")
 
+    # -- non-mutating probes (batched fast path) ------------------------------
+
+    def can_read_span(self, first_page: int, last_page: int) -> bool:
+        """True when every page of ``[first_page, last_page]`` is readable.
+
+        A pure probe: unlike :meth:`check_read` it neither raises nor
+        counts a fault, so the batched fast path can test a whole span
+        and fall back to the faulting per-access path without
+        double-counting the fault it is about to take.
+        """
+        entries = self._entries
+        invalid = Access.INVALID
+        for page_id in range(first_page, last_page + 1):
+            ent = entries.get(page_id)
+            if ent is None or ent.access is invalid:
+                return False
+        return True
+
+    def can_write_span(self, first_page: int, last_page: int) -> bool:
+        """True when every page of ``[first_page, last_page]`` is writable."""
+        entries = self._entries
+        read_write = Access.READ_WRITE
+        for page_id in range(first_page, last_page + 1):
+            ent = entries.get(page_id)
+            if ent is None or ent.access is not read_write:
+                return False
+        return True
+
     # -- protection management ----------------------------------------------
 
     def set_access(self, page_id: int, access: Access) -> None:

@@ -60,6 +60,12 @@ class NIC:
         self.bytes_received = 0
         self.post_queue_stalls = 0
 
+        # Delay objects are immutable once built, so the fixed per-call
+        # charges can reuse one instance instead of allocating ~2 per
+        # message on the sender/receiver hot loops.
+        self._delay_post = Delay(params.post_overhead_us)
+        self._delay_per_msg = Delay(params.nic_per_message_us)
+
         self._sender_proc = engine.spawn(self._sender(), f"nic{node_id}.send")
         self._receiver_proc = engine.spawn(self._receiver(), f"nic{node_id}.recv")
 
@@ -74,7 +80,7 @@ class NIC:
         """
         if not self.alive:
             raise NetworkError(f"node {self.node_id}: NIC is down")
-        yield Delay(self.params.post_overhead_us)
+        yield self._delay_post
         if self.post_queue.is_full:
             self.post_queue_stalls += 1
         yield self.post_queue.put(msg)
@@ -138,16 +144,22 @@ class NIC:
     # -- internal processes --------------------------------------------------
 
     def _sender(self):
+        # Per-message loop: hoist everything fixed for the NIC's
+        # lifetime out of it (params never change after construction).
+        get = self.post_queue.get
+        delay_per_msg = self._delay_per_msg
+        dma_charge = self.dma_charge
+        error_rate = self.params.transient_error_rate
+        transfer_time_us = self.params.transfer_time_us
         while True:
-            msg = yield self.post_queue.get()
-            yield Delay(self.params.nic_per_message_us)
-            if self.dma_charge is not None:
-                yield from self.dma_charge(msg.wire_bytes)
-            if (self.params.transient_error_rate > 0.0 and
-                    self.rng.random() < self.params.transient_error_rate):
+            msg = yield get()
+            yield delay_per_msg
+            if dma_charge is not None:
+                yield from dma_charge(msg.wire_bytes)
+            if error_rate > 0.0 and self.rng.random() < error_rate:
                 # VMMC retransmits transparently; only latency is visible.
                 yield Delay(self.params.retransmit_penalty_us)
-            yield Delay(self.params.transfer_time_us(msg.wire_bytes))
+            yield Delay(transfer_time_us(msg.wire_bytes))
             self.messages_sent += 1
             self.bytes_sent += msg.wire_bytes
             self.network.transmit(msg)
@@ -161,11 +173,14 @@ class NIC:
         self._incoming.try_put(msg)
 
     def _receiver(self):
+        get = self._incoming.get
+        delay_per_msg = self._delay_per_msg
+        dma_charge = self.dma_charge
         while True:
-            msg = yield self._incoming.get()
-            yield Delay(self.params.nic_per_message_us)
-            if self.dma_charge is not None:
-                yield from self.dma_charge(msg.wire_bytes)
+            msg = yield get()
+            yield delay_per_msg
+            if dma_charge is not None:
+                yield from dma_charge(msg.wire_bytes)
             self.messages_received += 1
             self.bytes_received += msg.wire_bytes
             yield from self._dispatch(msg)

@@ -49,6 +49,26 @@ class MemoryRegion:
         """Direct mutable access for the *local* host (no wire involved)."""
         return self._buf
 
+    def read_view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy view of ``[offset, offset + length)`` for local use.
+
+        The view aliases the live buffer: callers must either consume it
+        before yielding control back to the simulation or copy it (a
+        later store would show through the view).
+        """
+        self._check(offset, length)
+        return memoryview(self._buf)[offset:offset + length]
+
+    def write_from(self, offset: int, data) -> None:
+        """Like :meth:`write` but accepts any bytes-like object
+        (memoryview, bytearray, numpy buffer) without an intermediate
+        ``bytes`` copy."""
+        length = getattr(data, "nbytes", None)
+        if length is None:
+            length = len(data)
+        self._check(offset, length)
+        self._buf[offset:offset + length] = data
+
 
 class RegionTable:
     """The set of regions a node exports to the network."""

@@ -20,6 +20,7 @@ propagation safe.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -62,6 +63,12 @@ class SvmNodeAgent:
 
     #: Protocol variant name (the FT subclass overrides).
     variant = "base"
+
+    #: Class-wide switch for the synchronous batched fast path. When
+    #: off, every access runs the per-access generator path -- the
+    #: reference oracle the equivalence tests compare against (same
+    #: pattern as ``compute_diff_reference``).
+    fast_path_enabled = True
 
     def __init__(self, cluster: Cluster, node_id: int, homes: HomeMap,
                  runtime) -> None:
@@ -133,6 +140,11 @@ class SvmNodeAgent:
         #: attribute, not a hook: the write path is hot and a single
         #: None check is all the disabled case may cost.
         self.write_observer = None
+
+        #: Instance switch for the batched fast path (class default,
+        #: overridable per run via REPRO_NO_FAST_PATH for A/B oracles).
+        self.fast_path = (self.fast_path_enabled
+                          and not os.environ.get("REPRO_NO_FAST_PATH"))
 
         # Services / notify handlers ---------------------------------------
         self._services: Dict[str, object] = {}
@@ -241,6 +253,83 @@ class SvmNodeAgent:
             pos += chunk
             view = view[chunk:]
         return None
+
+    # -- batched synchronous fast path ---------------------------------------
+    #
+    # An access whose pages all hold sufficient rights completes with
+    # zero scheduler yields and zero simulated time in the per-access
+    # path too (_ensure_readable/_ensure_writable return without
+    # yielding), so serving it synchronously is bit-identical in
+    # simulated behaviour; the win is host-side only. The probe is
+    # all-or-nothing *before* any copy: on the first page lacking
+    # rights the caller falls back to the per-access generator path,
+    # which re-runs the page walk with its original fault sequence.
+
+    def _fast_path_ok(self) -> bool:
+        """Whether the synchronous fast path may serve accesses now
+        (the FT subclass also requires no recovery to be pending)."""
+        return self.fast_path
+
+    def try_read_fast(self, thread, addr: int,
+                      size: int) -> Optional[memoryview]:
+        """Synchronous read of ``[addr, addr + size)``; ``None`` when
+        any touched page lacks read rights (caller takes the slow
+        path). The returned view aliases the working store: consume or
+        copy it before yielding to the simulation."""
+        if not self._fast_path_ok():
+            return None
+        if size <= 0:
+            # The per-access path serves empty reads without touching
+            # the page table; match it exactly.
+            return memoryview(b"")
+        page_size = self.page_size
+        if not self.page_table.can_read_span(
+                addr // page_size, (addr + size - 1) // page_size):
+            return None
+        return self.working.flat_view(addr, size)
+
+    def try_write_fast(self, thread, addr: int, data) -> bool:
+        """Synchronous write; ``False`` when any touched page lacks
+        write rights (no bytes are stored -- the caller's slow path
+        redoes the whole span with its original fault sequence)."""
+        if not self._fast_path_ok():
+            return False
+        size = getattr(data, "nbytes", None)
+        if size is None:
+            size = len(data)
+        if size <= 0:
+            return True  # the per-access path is a no-op for empty writes
+        page_size = self.page_size
+        first = addr // page_size
+        last = (addr + size - 1) // page_size
+        if not self.page_table.can_write_span(first, last):
+            return False
+        self.working.flat_write(addr, data)
+        # Per-page bookkeeping identical to the per-access path:
+        # dirty-region extents and shadow-oracle observations are both
+        # page-relative.
+        record_write = self.page_table.record_write
+        observer = self.write_observer
+        if first == last:
+            offset = addr - first * page_size
+            record_write(first, offset, offset + size)
+            if observer is not None:
+                observer(first, offset, bytes(memoryview(data).cast("B"))
+                         if not isinstance(data, bytes) else data)
+            return True
+        view = memoryview(data).cast("B")
+        pos = addr
+        consumed = 0
+        while consumed < size:
+            page, offset = divmod(pos, page_size)
+            chunk = min(size - consumed, page_size - offset)
+            record_write(page, offset, offset + chunk)
+            if observer is not None:
+                observer(page, offset,
+                         bytes(view[consumed:consumed + chunk]))
+            pos += chunk
+            consumed += chunk
+        return True
 
     def _ensure_readable(self, thread, page: int):
         while True:
@@ -537,7 +626,10 @@ class SvmNodeAgent:
             twin, regions = entry.twin, entry.dirty_regions
         else:
             twin, regions = bytes(self.page_size), None
-        diff = compute_diff(page, twin, self.working.read_page(page),
+        # page_view, not read_page: compute_diff only reads the page
+        # and copies the changed runs out, so the 4 KiB snapshot copy
+        # is pure overhead.
+        diff = compute_diff(page, twin, self.working.page_view(page),
                             regions=regions)
         self.counters.pages_diffed += 1
         if home == self.node_id or (
@@ -637,7 +729,7 @@ class SvmNodeAgent:
             # writes as a pending diff, rebased after the re-fetch.
             if entry.twin is not None:
                 pending = compute_diff(
-                    page, entry.twin, self.working.read_page(page),
+                    page, entry.twin, self.working.page_view(page),
                     regions=entry.dirty_regions)
                 existing = self._pending_local_diffs.get(page)
                 if existing is not None:

@@ -214,6 +214,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
     # Memory access wrappers (retry across recoveries)
     # ------------------------------------------------------------------
 
+    def _fast_path_ok(self) -> bool:
+        # While a recovery is pending every access must park at the
+        # rendezvous (the per-access wrappers check before running);
+        # the synchronous fast path defers to them in that window.
+        return self.fast_path and self.recovery_pending is None
+
     def read(self, thread, addr: int, size: int):
         return (yield from self._recovery_retry(
             thread, lambda: super(FtSvmNodeAgent, self).read(
@@ -477,7 +483,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
             twin, regions = entry.twin, entry.dirty_regions
         else:
             twin, regions = bytes(self.page_size), None
-        diff = compute_diff(page, twin, self.working.read_page(page),
+        diff = compute_diff(page, twin, self.working.page_view(page),
                             regions=regions)
         self.counters.pages_diffed += 1
         if self.homes.primary_home(page) == self.node_id:

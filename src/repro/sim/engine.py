@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+
+_heappush = heapq.heappush
 
 #: Default priority for scheduled events. Lower runs first at equal times.
 PRIORITY_NORMAL = 10
@@ -41,10 +44,9 @@ class _ScheduledEvent:
     determinism -- are unchanged.
     """
 
-    __slots__ = ("time", "action", "cancelled", "passive")
+    __slots__ = ("action", "cancelled", "passive")
 
-    def __init__(self, time: float, action: Callable[[], None]) -> None:
-        self.time = time
+    def __init__(self, action: Callable[[], None]) -> None:
         self.action = action
         self.cancelled = False
         #: Passive events (metronome ticks) observe the simulation but
@@ -71,7 +73,17 @@ class Engine:
     def __init__(self) -> None:
         #: Heap of (time, priority, seq, _ScheduledEvent) tuples.
         self._heap: list = []
-        self._seq = itertools.count()
+        #: Zero-delay PRIORITY_NORMAL entries, same tuple layout. Their
+        #: times are non-decreasing (``now`` never goes backwards) and
+        #: their seqs strictly increase, so the deque is already sorted
+        #: by (time, priority, seq): ``run`` merges it with the heap by
+        #: comparing heads, which preserves the exact total order while
+        #: replacing an O(log n) heap push/pop with O(1) deque ops for
+        #: the most common schedule (event wakeups).
+        self._fifo: deque = deque()
+        # Bound ``__next__`` dodges the ``next()`` builtin call in
+        # ``schedule`` -- the single hottest function in full runs.
+        self._seq = itertools.count().__next__
         self._now = 0.0
         self._running = False
         #: Number of events executed so far (for diagnostics / tests).
@@ -88,8 +100,23 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self._now + delay
-        ev = _ScheduledEvent(time, action)
-        heapq.heappush(self._heap, (time, priority, next(self._seq), ev))
+        ev = _ScheduledEvent(action)
+        if delay == 0.0 and priority == PRIORITY_NORMAL:
+            self._fifo.append((time, priority, self._seq(), ev))
+        else:
+            _heappush(self._heap, (time, priority, self._seq(), ev))
+        return ev
+
+    def schedule_now(self, action: Callable[[], None]) -> _ScheduledEvent:
+        """``schedule(0.0, action)`` without the generic checks.
+
+        The zero-delay PRIORITY_NORMAL resume is the single most common
+        schedule (every event wakeup); this entry point skips the
+        negative-delay guard and the dispatch branch. The event-list
+        slot is identical to what ``schedule`` would produce.
+        """
+        ev = _ScheduledEvent(action)
+        self._fifo.append((self._now, PRIORITY_NORMAL, self._seq(), ev))
         return ev
 
     def schedule_at(self, time: float, action: Callable[[], None],
@@ -114,22 +141,52 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         executed = 0
-        # Hot loop: localize the heap and heappop to dodge repeated
+        # Hot loop: localize the queues and heappop to dodge repeated
         # attribute/global lookups (measurable at millions of events).
         heap = self._heap
+        fifo = self._fifo
         heappop = heapq.heappop
+        popleft = fifo.popleft
         try:
-            while heap:
-                entry = heap[0]
+            if until is None and max_events is None:
+                # Full-run case (every application run): the same loop
+                # minus the two per-event bound checks.
+                while True:
+                    # Two sorted sources: take whichever head has the
+                    # smaller (time, priority, seq) -- seq is unique,
+                    # so the compare never reaches the handles.
+                    if fifo:
+                        if heap and heap[0] < fifo[0]:
+                            entry = heappop(heap)
+                        else:
+                            entry = popleft()
+                    elif heap:
+                        entry = heappop(heap)
+                    else:
+                        break
+                    ev = entry[3]
+                    if ev.cancelled:
+                        continue
+                    time = entry[0]
+                    if time < self._now:
+                        raise SimulationError(
+                            "event list went backwards in time")
+                    self._now = time
+                    ev.action()
+                    self.events_executed += 1
+                return
+            while heap or fifo:
+                use_fifo = bool(fifo) and (not heap or fifo[0] < heap[0])
+                entry = fifo[0] if use_fifo else heap[0]
                 ev = entry[3]
                 if ev.cancelled:
-                    heappop(heap)
+                    popleft() if use_fifo else heappop(heap)
                     continue
                 time = entry[0]
                 if until is not None and time > until:
                     self._now = until
                     return
-                heappop(heap)
+                popleft() if use_fifo else heappop(heap)
                 if time < self._now:
                     raise SimulationError("event list went backwards in time")
                 self._now = time
@@ -147,7 +204,10 @@ class Engine:
         """Time of the next pending event, or ``None`` if the list is empty."""
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        while self._fifo and self._fifo[0][3].cancelled:
+            self._fifo.popleft()
+        heads = [q[0][0] for q in (self._heap, self._fifo) if q]
+        return min(heads) if heads else None
 
     @property
     def queue_depth(self) -> int:
@@ -155,7 +215,8 @@ class Engine:
 
         An observability gauge: cancelled entries are lazily discarded
         by ``run``/``peek``, so subtract them rather than scanning."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled) \
+            + sum(1 for entry in self._fifo if not entry[3].cancelled)
 
     def metronome(self, period: float, action: Callable[[], None],
                   priority: int = PRIORITY_LATE) -> None:
@@ -175,7 +236,8 @@ class Engine:
 
         def has_active_pending() -> bool:
             return any(not entry[3].cancelled and not entry[3].passive
-                       for entry in self._heap)
+                       for queue in (self._heap, self._fifo)
+                       for entry in queue)
 
         def tick() -> None:
             action()

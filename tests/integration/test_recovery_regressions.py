@@ -82,6 +82,10 @@ SWEPT_DIVERGENT = [
     # simulated duration.
     (145, 1, 537, 2),
     (145, 1, 612, 2),
+    # Lost RMW found by hypothesis 2026-08 (counters [34, 0, 5] !=
+    # expected [34, 0, 84]); reproduces identically on earlier
+    # revisions, same bug family as 475 above.
+    (180, 1, 3826, 2),
 ]
 
 

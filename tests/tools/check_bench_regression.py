@@ -7,14 +7,23 @@ baseline read from git (the smoke overwrites the working-tree copy)::
     python tests/tools/check_bench_regression.py \
         --baseline /tmp/baseline.json --fresh results/BENCH_hotpaths.json
 
-Absolute microsecond numbers move with the machine (the committed
-baseline comes from a 1-core container; CI runners differ), so the
-gate is a wide tolerance band: ratio metrics (diff speedups, which are
-measured against a reference loop on the *same* machine) must keep at
-least ``1/tolerance`` of the baseline, and per-operation host costs
-must not exceed ``tolerance`` times the baseline. The default band of
-2.0 catches an accidentally-reverted fast path (order-of-magnitude
-regressions) without flaking on runner noise.
+Two kinds of gate:
+
+* **ratio** metrics (diff speedups, span speedups) compare a fast path
+  against its reference loop on the *same* machine in the same run, so
+  they are machine-independent and gate directly against the committed
+  baseline;
+* **host-time** metrics (µs per fault / per acquire / per merge) move
+  with the machine. Comparing them raw against a baseline committed on
+  a different (often faster) machine false-fails on slower runners, so
+  the bound is rescaled by the ratio of the two runs' ``calibration_us``
+  -- a fixed deterministic spin recorded alongside each benchmark run
+  that measures only machine speed. A 2x-slower runner doubles its
+  calibration and its allowance in lockstep; an accidentally-reverted
+  fast path still blows through the band because the calibration does
+  not move with protocol code. When either file lacks a calibration
+  (pre-rescale baselines), the checker warns and falls back to the raw
+  compare.
 """
 
 from __future__ import annotations
@@ -24,12 +33,15 @@ import json
 import sys
 
 #: (json path, kind) -- "higher" metrics must stay >= baseline/tol,
-#: "lower" metrics must stay <= baseline*tol.
+#: "lower" metrics must stay <= baseline*tol (calibration-rescaled).
 GATES = [
     (("diff", "sparse", "speedup"), "higher"),
     (("diff", "dense", "speedup"), "higher"),
     (("diff", "clean", "speedup"), "higher"),
     (("diff", "fragmented", "speedup"), "higher"),
+    (("span_access", "span_read_speedup"), "higher"),
+    (("span_access", "span_write_speedup"), "higher"),
+    (("span_access", "read_array_speedup"), "higher"),
     (("fault_fetch", "host_us_per_fault"), "lower"),
     (("lock_handoff", "host_us_per_acquire"), "lower"),
     (("merge", "merge_8diffs_us"), "lower"),
@@ -42,18 +54,41 @@ def _lookup(data: dict, path: tuple):
     return data
 
 
+def _calibration_scale(baseline: dict, fresh: dict):
+    """fresh-machine slowdown factor, or None when not measurable."""
+    base_cal = baseline.get("calibration_us")
+    fresh_cal = fresh.get("calibration_us")
+    if not base_cal or not fresh_cal:
+        return None
+    return fresh_cal / base_cal
+
+
 def check(baseline: dict, fresh: dict, tolerance: float) -> list:
     failures = []
+    scale = _calibration_scale(baseline, fresh)
+    if scale is None:
+        print("warn: calibration_us missing from baseline or fresh run; "
+              "host-time gates use the raw (machine-dependent) compare")
+    else:
+        print(f"calibration: fresh machine is {scale:.2f}x the baseline "
+              f"machine's cost (host-time bounds rescaled accordingly)")
     for path, kind in GATES:
         name = ".".join(path)
-        base = _lookup(baseline, path)
+        try:
+            base = _lookup(baseline, path)
+        except KeyError:
+            # Metric added after the committed baseline: nothing to
+            # gate against yet. It starts gating on the next baseline.
+            print(f"  new  {name}: no baseline entry, skipped")
+            continue
         now = _lookup(fresh, path)
         if kind == "higher":
+            # Same-machine ratios: no calibration scaling.
             bound = base / tolerance
             ok = now >= bound
             rel = "<" if not ok else ">="
         else:
-            bound = base * tolerance
+            bound = base * tolerance * (scale if scale is not None else 1.0)
             ok = now <= bound
             rel = ">" if not ok else "<="
         line = (f"{name}: {now} {rel} bound {bound:.2f} "
