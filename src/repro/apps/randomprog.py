@@ -137,12 +137,21 @@ class RandomProgram(Workload):
     # -- kernel ------------------------------------------------------------------
 
     def init_kernel(self, ctx: AppContext):
-        if ctx.tid == 0:
+        # Progress markers: a checkpoint-restored thread must not
+        # re-run initialization writes it already performed. The zero
+        # writes are idempotent against *initial* memory, but a replay
+        # after other threads have published real values would wipe
+        # them (a restored tid 0 re-zeroing the counters page destroys
+        # every RMW committed since -- a lost-update divergence).
+        if ctx.tid == 0 and ctx.pending("init_counters"):
             zeros = np.zeros(self.ncounters, dtype=np.int64)
             yield from ctx.svm.write_array(self._counter_addr(0), zeros)
-        zeros = np.zeros(self.slots, dtype=np.int64)
-        yield from ctx.svm.write_array(self._slot_addr(ctx.tid, 0),
-                                       zeros)
+            ctx.done("init_counters")
+        if ctx.pending("init_slots"):
+            zeros = np.zeros(self.slots, dtype=np.int64)
+            yield from ctx.svm.write_array(self._slot_addr(ctx.tid, 0),
+                                           zeros)
+            ctx.done("init_slots")
         return None
 
     def kernel(self, ctx: AppContext):

@@ -276,18 +276,21 @@ def _cmd_replay(args) -> int:
         scenario = ReplayScenario(
             program_seed=args.program_seed, cluster_seed=args.cluster_seed,
             plan_seed=args.plan_seed, failures=args.failures)
-        header = record_trace(scenario, args.trace)
-        status = header["error"] or "clean"
+        header = record_trace(scenario, args.trace,
+                              sim_budget_us=args.sim_budget_us)
+        status = header["outcome"]
+        if header["error"]:
+            status += f" ({header['error']})"
         print(f"recorded {header['events']} events to {args.trace} "
               f"({header['elapsed_us']:.0f}us simulated): {status}")
         return 0
 
-    outcome = replay_trace(args.trace)
+    outcome = replay_trace(args.trace, sim_budget_us=args.sim_budget_us)
     sc = outcome["scenario"]
     print(f"replaying program_seed={sc.program_seed} "
           f"cluster_seed={sc.cluster_seed} plan_seed={sc.plan_seed} "
           f"failures={sc.failures}")
-    if outcome["error"] is None and not outcome["findings"]:
+    if outcome["outcome"] == "clean" and not outcome["findings"]:
         print("PASS: run completed and all recovery invariants held")
         return 0
     if outcome["error"] is not None:
@@ -296,7 +299,13 @@ def _cmd_replay(args) -> int:
         print(f"  {finding.time_us:12.1f}us  {finding.invariant}: "
               f"{finding.detail}")
     first = outcome["first_divergence"]
-    if first is None:
+    if outcome["outcome"] == "hang":
+        print(f"HANG: sim-time budget exhausted at "
+              f"{outcome['elapsed_us']:.0f}us with threads "
+              f"{outcome['unfinished']} unfinished -- liveness bug, "
+              f"not a state mismatch; run under the stall watchdog "
+              f"for wait-for edges")
+    elif first is None:
         print("bisection: no auditable stop diverges from the oracle "
               "(divergence is transient or end-state only)")
     else:
@@ -441,6 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--cluster-seed", type=int, default=1)
     p_rep.add_argument("--plan-seed", type=int, default=None)
     p_rep.add_argument("--failures", type=int, default=0)
+    p_rep.add_argument("--sim-budget-us", type=float, default=1_000_000.0,
+                       help="per-run simulated-time budget; a run that "
+                            "exhausts it with unfinished threads is "
+                            "classified as a hang (default: 1e6)")
     p_rep.set_defaults(fn=_cmd_replay)
     return parser
 

@@ -44,6 +44,12 @@ class NIC:
         self.dma_charge = dma_charge
         self.alive = True
         self.network = None  # attached by Network.attach()
+        #: Nodes whose failure has been detected. VMMC unmaps the
+        #: import/export connections to a failed node during
+        #: reconfiguration, so anything it left on the wire (or already
+        #: queued here) is discarded instead of being applied to
+        #: exported memory after recovery has rebuilt it.
+        self.dead_sources: set = set()
 
         self.post_queue = Store(engine, capacity=params.post_queue_depth,
                                 name=f"nic{node_id}.post")
@@ -59,6 +65,7 @@ class NIC:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.post_queue_stalls = 0
+        self.messages_shunned = 0
 
         # Delay objects are immutable once built, so the fixed per-call
         # charges can reuse one instance instead of allocating ~2 per
@@ -121,6 +128,16 @@ class NIC:
 
     def abandon_reply(self, req_id: int) -> None:
         self._pending_replies.pop(req_id, None)
+
+    def shun(self, node_id: int) -> None:
+        """Tear down connections from a node declared failed.
+
+        Late traffic from a fail-stopped node must never land: a
+        deposit it posted just before dying can otherwise arrive
+        *after* recovery has rebuilt the target region (observed as a
+        dead node's lock-vector slot resurrecting after the recovery
+        clear and wedging every later acquirer)."""
+        self.dead_sources.add(node_id)
 
     # -- failure injection ---------------------------------------------------
 
@@ -186,6 +203,13 @@ class NIC:
             yield from self._dispatch(msg)
 
     def _dispatch(self, msg: Message):
+        if msg.src in self.dead_sources:
+            # In-flight remnant of a fail-stopped node: the connection
+            # was unmapped when its failure was detected.
+            self.messages_shunned += 1
+            if msg.completion is not None and not msg.completion.settled:
+                msg.completion.fail(RemoteNodeFailure(msg.src))
+            return
         kind = msg.kind
         if kind == MessageKind.DEPOSIT:
             region_name, offset, data = msg.payload

@@ -41,8 +41,12 @@ _BARRIER = re.compile(r"bar(\d+)\.(\d+)$")
 _RELSLOT = re.compile(r"relslot(\d+)$")
 
 
-def _decode_wait(name: str) -> Tuple[str, Optional[int]]:
-    """Classify a simulator event name into (kind, resource id)."""
+def _decode_wait(name: str
+                 ) -> Tuple[str, Optional[int], Optional[int]]:
+    """Classify a simulator event name into (kind, resource id,
+    barrier generation). The generation is the one encoded in the
+    wait event (``bar{id}.{epoch}``) -- which *round* the thread is
+    parked in, the first question a barrier deadlock raises."""
     for pattern, kind in ((_LOCK_WAIT, "lock"), (_QLOCK_WAIT, "lock"),
                           (_PAGE_LOCK, "page_lock"),
                           (_PAGE_UNLOCK, "page_unlock"),
@@ -50,13 +54,13 @@ def _decode_wait(name: str) -> Tuple[str, Optional[int]]:
                           (_RELSLOT, "release_slot")):
         m = pattern.search(name)
         if m:
-            return kind, int(m.group(1))
+            return kind, int(m.group(1)), None
     m = _BARRIER.search(name)
     if m:
-        return "barrier", int(m.group(1))
+        return "barrier", int(m.group(1)), int(m.group(2))
     if name.startswith("recovery"):
-        return "recovery", None
-    return "other", None
+        return "recovery", None, None
+    return "other", None, None
 
 
 def build_waitfor(runtime,
@@ -89,8 +93,18 @@ def build_waitfor(runtime,
         waiting = getattr(proc, "_waiting_on", None) if proc else None
         if not rec.finished and waiting is not None:
             name = waiting.name
-            kind, resource = _decode_wait(name)
+            kind, resource, wait_epoch = _decode_wait(name)
             entry.update(waiting=name, kind=kind, resource=resource)
+            if kind == "barrier":
+                # The three epoch counters a barrier deadlock is
+                # diagnosed from: the generation the wait event names,
+                # the thread's own completed count, and its node's.
+                agent = runtime.agents[rec.current_node]
+                entry["wait_epoch"] = wait_epoch
+                entry["thread_epoch"] = rec.ctx.state.get(
+                    ("__bar__", resource), 0)
+                entry["node_done"] = getattr(
+                    agent, "barrier_done", {}).get(resource, 0)
             if kind == "lock" and resource in lock_holders:
                 owner_node, owner_tid = lock_holders[resource]
                 entry["owner"] = {"tid": owner_tid, "node": owner_node}
@@ -194,6 +208,10 @@ def format_waitfor(graph: dict, horizon_us: Optional[float] = None) -> str:
             desc += f" [{t['kind']}"
             if t["resource"] is not None:
                 desc += f" {t['resource']}"
+            if t["kind"] == "barrier":
+                desc += (f" gen {t.get('wait_epoch')}; "
+                         f"thread epoch {t.get('thread_epoch')}, "
+                         f"node done {t.get('node_done')}")
             desc += "]"
         owner = t.get("owner")
         if owner:

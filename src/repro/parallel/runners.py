@@ -76,7 +76,8 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
         program_seed=params["program_seed"],
         cluster_seed=params["cluster_seed"],
         plan_seed=params["plan_seed"],
-        failures=params["failures"]))
+        failures=params["failures"],
+        num_nodes=params.get("num_nodes", 4)))
     checker = None
     if params.get("check"):
         from repro.verify import RecoveryInvariantChecker

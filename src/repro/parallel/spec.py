@@ -106,6 +106,7 @@ def app_spec(app_name: str, variant: str, threads_per_node: int = 1,
 def model_check_spec(program_seed: int, cluster_seed: int,
                      plan_seed: int, failures: int, check: bool = False,
                      max_sim_us: float = 200_000.0,
+                     num_nodes: int = 4,
                      tag: Optional[str] = None) -> RunSpec:
     """One fault-injection model-check case (mirrors the seed sweep)."""
     params = {
@@ -116,7 +117,13 @@ def model_check_spec(program_seed: int, cluster_seed: int,
         "check": check,
         "max_sim_us": max_sim_us,
     }
+    if num_nodes != 4:
+        # Only non-default so the content-addressed cache keys of every
+        # 4-node sweep already on disk stay valid.
+        params["num_nodes"] = num_nodes
     if tag is None:
         tag = (f"mc/{program_seed}/{cluster_seed}/"
                f"{plan_seed}x{failures}")
+        if num_nodes != 4:
+            tag += f"/n{num_nodes}"
     return RunSpec(kind="model_check", params=params, tag=tag)

@@ -654,6 +654,12 @@ class SvmNodeAgent:
         entry.dirty = False
         entry.twin = None
         entry.dirty_regions = None
+        # A pending rebase record saved by an invalidate-while-dirty is
+        # satisfied by this commit (the diff just computed contains the
+        # very runs it preserved). Keeping it would rebase stale bytes
+        # over a *fresh* copy at the next fetch, silently reverting any
+        # remote writes landed in between (a lost-update divergence).
+        self._pending_local_diffs.pop(page, None)
         if entry.access is Access.READ_WRITE:
             entry.access = Access.READ_ONLY
 
@@ -777,10 +783,14 @@ class SvmNodeAgent:
                 self.counters.barriers += 1
                 yield from self._internode_barrier(thread, barrier_id,
                                                    state)
-                self.barrier_done[barrier_id] = epoch + 1
+                # max(): recovery reconciliation may have advanced the
+                # generation count past this epoch while we were parked.
+                self.barrier_done[barrier_id] = max(
+                    self.barrier_done.get(barrier_id, 0), epoch + 1)
                 state["released"] = True
                 self._local_barriers.pop((barrier_id, epoch - 1), None)
-                state["event"].succeed(None)
+                if not state["event"].settled:
+                    state["event"].succeed(None)
         self.hooks.fire(Hooks.BARRIER_EXIT, self.node_id,
                         barrier=barrier_id, thread=thread.thread_id)
         return None
@@ -789,7 +799,8 @@ class SvmNodeAgent:
                              epoch: int) -> Dict[str, object]:
         state = self._local_barriers.get((barrier_id, epoch))
         if state is None:
-            state = {"arrived": 0, "released": False, "leader": False,
+            state = {"bid": barrier_id, "epoch": epoch,
+                     "arrived": 0, "released": False, "leader": False,
                      "event": Event(self.engine, f"bar{barrier_id}.{epoch}")}
             self._local_barriers[(barrier_id, epoch)] = state
         return state
@@ -806,13 +817,21 @@ class SvmNodeAgent:
         arrival (and commit its updates) before exchanging.
         """
         while state["arrived"] < self._local_thread_count():
+            if self.barrier_done.get(state["bid"], 0) > state["epoch"]:
+                # Recovery reconciliation advanced the generation count
+                # past this epoch: the generation completed globally
+                # (with this node's participation) and the remaining
+                # local threads are at later epochs. Tell the caller
+                # the generation is stale so it skips the exchange.
+                state["straggler_event"] = None
+                return True
             ev = Event(self.engine, "straggler")
             state["straggler_event"] = ev
             if state["arrived"] >= self._local_thread_count():
                 break
             yield from self.blocked_wait(ev)
         state["straggler_event"] = None
-        return None
+        return False
 
     def _internode_barrier(self, thread, barrier_id: int, state):
         yield from self._gather_local_stragglers(state)

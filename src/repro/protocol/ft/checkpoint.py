@@ -158,6 +158,46 @@ class CheckpointStore:
         for interval in [i for i in mirror if i <= horizon]:
             del mirror[interval]
 
+    def absorb(self, source: "CheckpointStore", ward: int) -> int:
+        """Adopt ``ward``'s full recovery state from ``source``.
+
+        Used when a ward's backup node dies: the ward copies its own
+        self-mirror (everything it ever shipped, confirmed) to the new
+        backup, so the checkpoint *history* -- not just the live
+        release metadata -- survives back-to-back failures. Returns the
+        approximate byte volume copied (for recovery cost accounting).
+        """
+        nbytes = 0
+        for (src_ward, tid), slots in source._threads.items():
+            if src_ward != ward:
+                continue
+            self._threads[(ward, tid)] = [
+                ThreadSlot(seq=s.seq, blob=s.blob) for s in slots]
+            nbytes += sum(len(s.blob) for s in slots)
+        for table, mine in ((source._pending, self._pending),
+                            (source._completed, self._completed)):
+            record = table.get(ward)
+            if record is not None:
+                mine[ward] = ReleaseRecord(
+                    seq=record.seq, interval=record.interval,
+                    pages=list(record.pages), diffs=dict(record.diffs),
+                    ts_blob=record.ts_blob)
+                nbytes += sum(len(b) for b in record.diffs.values())
+        mirror = source.interval_mirror.get(ward)
+        if mirror:
+            self.interval_mirror[ward] = {
+                interval: list(pages) for interval, pages in mirror.items()}
+            nbytes += 16 * sum(len(p) for p in mirror.values())
+        return nbytes
+
+    def slot_seqs(self, ward: int, tid: int) -> List[int]:
+        """The seqs currently held in a thread's two slots (diagnostic
+        and invariant-checking aid; -1 marks a never-written slot)."""
+        slots = self._threads.get((ward, tid))
+        if not slots:
+            return []
+        return [s.seq for s in slots]
+
     def forget_ward(self, ward: int) -> None:
         """Drop a ward's state (it failed and has been recovered)."""
         self._threads = {k: v for k, v in self._threads.items()

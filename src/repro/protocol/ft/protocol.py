@@ -100,6 +100,17 @@ class FtSvmNodeAgent(SvmNodeAgent):
         self.node.regions.export_region(self.tentative)
 
         self.ckpt_store = CheckpointStore(node_id)
+        #: Self-mirror of everything this node has *confirmedly* shipped
+        #: to its backup. Costs nothing extra (the node already owns the
+        #: data); it exists so that when the backup dies, recovery can
+        #: copy the full checkpoint history -- thread-state slots,
+        #: pending/complete release records, mirrored write notices --
+        #: to the new backup instead of only the live release metadata.
+        #: Without it, a node whose backup died loses its durable
+        #: history: its next failure then rolls back releases that had
+        #: long passed point B (observed as doubled RMWs, or as a hang
+        #: when a lock timestamp still names the rolled-back interval).
+        self.ckpt_mirror = CheckpointStore(node_id)
         self.register_notify(CKPT_CHANNEL, self._on_checkpoint)
 
         self.register_notify("svm_diff_flush", lambda msg: None)
@@ -466,6 +477,11 @@ class FtSvmNodeAgent(SvmNodeAgent):
             entry.dirty = False
             entry.twin = None
             entry.dirty_regions = None
+            # The commit consumes any invalidate-while-dirty rebase
+            # record: its preserved runs are inside this diff. A stale
+            # record would be rebased over a later fetch and revert
+            # other writers' updates (see _finish_page_release).
+            self._pending_local_diffs.pop(page, None)
         record_body = ("pending", self.node_id, fl.seq, fl.interval,
                        fl.pages,
                        {page: diff.encode()
@@ -475,6 +491,14 @@ class FtSvmNodeAgent(SvmNodeAgent):
         backup = self.homes.backup_node(self.node_id)
         yield from self.notify(backup, CKPT_CHANNEL, record_body,
                                body_bytes=body_bytes, wait=True)
+        # Mirror the shipped record locally (delivery was waited, so the
+        # mirror never claims more than the backup durably holds).
+        self.ckpt_mirror.store_pending(self.node_id, ReleaseRecord(
+            seq=fl.seq, interval=fl.interval, pages=list(fl.pages),
+            diffs={page: diff.encode()
+                   for page, diff in fl.diffs.items()}))
+        self.ckpt_mirror.trim_mirror(self.node_id,
+                                     self.last_barrier_interval)
         return None
 
     def _compute_page_diff(self, page: int, entry):
@@ -587,6 +611,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
             backup, CKPT_CHANNEL,
             ("complete", self.node_id, fl.seq, self.ts.encode()),
             body_bytes=16 + self.ts.wire_bytes, wait=True)
+        # Mirrored only after the waited delivery: "complete" in the
+        # mirror must coincide with the pipeline being past point B,
+        # which is what exempts the release from the recovery rewind
+        # (step 3a) that would otherwise undo its tentative updates.
+        self.ckpt_mirror.store_complete(self.node_id, fl.seq,
+                                        self.ts.encode())
         self.published_interval = self.interval_no
         self.hooks.fire(Hooks.CHECKPOINT_B, self.node_id, seq=fl.seq,
                         tid=thread.thread_id)
@@ -604,6 +634,9 @@ class FtSvmNodeAgent(SvmNodeAgent):
             backup, CKPT_CHANNEL,
             ("state", self.node_id, tid, seq, blob),
             body_bytes=size + 32)
+        # The blob is this node's own frozen truth; mirroring it eagerly
+        # is safe (the mirror is only read while this node is alive).
+        self.ckpt_mirror.store_thread_state(self.node_id, tid, seq, blob)
         return None
 
     def initial_checkpoint(self, rec):
@@ -687,7 +720,18 @@ class FtSvmNodeAgent(SvmNodeAgent):
             # a straggler may need those pages to make progress, and it
             # commits only its original page set anyway.
             yield from self._release_pipeline(thread, None)
-        yield from self._gather_local_stragglers(state)
+        if self.barrier_done.get(barrier_id, 0) > state["epoch"]:
+            # Recovery reconciliation proved this generation completed
+            # globally while we were parked (the reply died with the
+            # old manager, or a restored thread's checkpoint epoch
+            # witnessed it). Our arrival-time commit already ran; the
+            # recovery exchange re-distributed its effects -- pass
+            # through instead of gathering stragglers that have moved
+            # on to later epochs.
+            return None
+        stale = yield from self._gather_local_stragglers(state)
+        if stale:
+            return None
         # Fresh commit covering everything dirtied up to the barrier,
         # including writes by threads gathered after a recovery.
         yield from self._release_pipeline(thread, None)

@@ -40,7 +40,7 @@ from typing import Dict, List, Optional, Set
 from repro.apps.base import AppContext
 from repro.cluster import Hooks
 from repro.errors import RecoveryError, UnrecoverableFailure
-from repro.protocol.ft.checkpoint import ReleaseRecord, encode_thread_state
+from repro.protocol.ft.checkpoint import encode_thread_state
 from repro.protocol.ft.protocol import STAGE_PHASE1, STAGE_POINT_B
 from repro.protocol.locks import LOCKTS_REGION, LOCKVEC_REGION
 from repro.protocol.signals import RecoverySignal
@@ -122,6 +122,12 @@ class RecoveryManager:
         for node_id in self._live_ids():
             agent = self.runtime.agents[node_id]
             agent.recovery_pending = RecoverySignal(failed)
+            # Unmap connections from the failed node everywhere, NOW:
+            # deposits it posted just before dying may still be on the
+            # wire, and applying one after recovery rebuilds the target
+            # region would resurrect dead state (e.g. a lock-vector
+            # slot that every later acquirer spins on forever).
+            agent.node.nic.shun(failed)
             agent.abort_local_waits()
         for manager in self.runtime.barrier_managers:
             manager.abort_pending()
@@ -366,24 +372,25 @@ class RecoveryManager:
 
         # -- 6b. restore checkpoint redundancy ------------------------------
         # A node whose backup died lost its saved thread states and
-        # release records. Carry the live release metadata over to its
-        # new backup now; the node itself re-ships current thread states
-        # with a null release as it leaves the rendezvous.
+        # release records at the backup. The node itself still holds
+        # everything it ever shipped (its self-mirror): copy the full
+        # history -- thread-state slots, pending/complete records,
+        # mirrored write notices -- to the new backup now. Carrying only
+        # the live release metadata here is NOT enough: the ward's next
+        # failure would then find no complete record and roll back a
+        # release that long passed point B (the doubled-RMW bug; or a
+        # permanent version wait when a lock timestamp already names the
+        # rolled-back interval). The reseed null release on resume
+        # additionally re-ships *current* thread states.
         for node_id, agent in agents.items():
             if old_map.backup_node(node_id) != failed:
                 continue
             new_backup_store = agents[
                 homes.backup_node(node_id)].ckpt_store
-            for fl in agent._inflight.values():
-                new_backup_store.store_pending(node_id, ReleaseRecord(
-                    seq=fl.seq, interval=fl.interval,
-                    pages=list(fl.pages),
-                    diffs={p: d.encode() for p, d in fl.diffs.items()}))
-                if fl.stage > STAGE_POINT_B:
-                    new_backup_store.store_complete(
-                        node_id, fl.seq, agent.ts.encode())
+            carried = new_backup_store.absorb(agent.ckpt_mirror, node_id)
             agent.needs_checkpoint_reseed = True
-            cost_us += net.wire_latency_us
+            cost_us += (net.wire_latency_us
+                        + net.transfer_time_us(carried))
 
         # Charge the aggregate reconfiguration cost before resuming.
         yield Delay(cost_us)
@@ -395,6 +402,9 @@ class RecoveryManager:
             if rec.current_node != failed or rec.finished:
                 continue
             state = store.latest_thread_state(failed, rec.tid, max_seq)
+            valid = [s for s in store.slot_seqs(failed, rec.tid)
+                     if 0 <= s <= max_seq]
+            used_seq = max(valid) if state is not None and valid else None
             if state is None:
                 # The node died before shipping any checkpoint: nothing
                 # it ever did was propagated (its first release never
@@ -410,20 +420,86 @@ class RecoveryManager:
                                  state=state)
             rec.current_node = backup_id
             rec.resumptions += 1
-            resumed.append(rec)
+            resumed.append((rec, used_seq))
 
         # Immediately re-checkpoint resumed threads to the new backup so
         # a subsequent failure of the backup node is tolerated too.
         next_backup = homes.backup_node(backup_id)
         ckpt_cost = 0.0
-        for rec in resumed:
+        for rec, _seq in resumed:
             blob = encode_thread_state(rec.ctx.state)
             runtime.agents[next_backup].ckpt_store.store_thread_state(
+                backup_id, rec.tid, 0, blob)
+            # The host's self-mirror must track this ship too, or the
+            # restored states would be lost again if next_backup dies.
+            agents[backup_id].ckpt_mirror.store_thread_state(
                 backup_id, rec.tid, 0, blob)
             ckpt_cost += (costs.checkpoint_us(len(blob))
                           + net.wire_latency_us)
         store.forget_ward(failed)
         yield Delay(ckpt_cost)
+
+        # -- 7b. barrier/lock state reconciliation --------------------------
+        # Surviving nodes and restored checkpoints can disagree about
+        # how many generations of each barrier have completed: a node
+        # whose exchange reply died with the old manager never advanced
+        # its count, while a checkpoint-restored thread may carry a
+        # *later* epoch (its old node completed the generation before
+        # dying). Rebuild a single truth: a barrier generation is
+        # completed iff any live node's count, any live manager's
+        # record, or any unfinished thread's checkpointed epoch says
+        # so -- each of those witnesses requires the generation to have
+        # released globally. Every live node adopts the merged counts
+        # and settles local generations that completed globally, so a
+        # leader gathering stragglers for a finished generation (or a
+        # restored thread re-arriving at one) passes through instead of
+        # deadlocking against threads waiting at later epochs.
+        generations: Dict[int, int] = {}
+        for agent in agents.values():
+            for bid, done in agent.barrier_done.items():
+                if done > generations.get(bid, 0):
+                    generations[bid] = done
+        for manager in runtime.barrier_managers:
+            if manager.agent.node_id not in agents:
+                continue
+            for bid, done in manager._completed.items():
+                if done > generations.get(bid, 0):
+                    generations[bid] = done
+        for rec in runtime.threads:
+            if rec.finished:
+                continue
+            for key, value in rec.ctx.state.items():
+                if isinstance(key, tuple) and len(key) == 2 \
+                        and key[0] == "__bar__" \
+                        and value > generations.get(key[1], 0):
+                    generations[key[1]] = value
+        for agent in agents.values():
+            for bid, gen in generations.items():
+                if agent.barrier_done.get(bid, 0) < gen:
+                    agent.barrier_done[bid] = gen
+            for (bid, epoch), bstate in list(agent._local_barriers.items()):
+                if epoch >= generations.get(bid, 0):
+                    continue
+                # Completed globally: release local waiters; a parked
+                # leader re-checks the reconciled count on retry.
+                bstate["released"] = True
+                straggler = bstate.get("straggler_event")
+                if straggler is not None and not straggler.settled:
+                    straggler.succeed(None)
+                bstate["straggler_event"] = None
+                if not bstate["event"].settled:
+                    bstate["event"].succeed(None)
+        # Lock-state hygiene: no live lock vector may carry a bit for
+        # any failed node (step 5 cleared the current victim; re-clear
+        # every dead slot in case a late remnant slipped in between
+        # failure and detection).
+        for agent in agents.values():
+            vec = agent.node.regions.lookup(LOCKVEC_REGION).view()
+            for dead in homes.failed:
+                vec[dead::n] = bytes(len(range(dead, len(vec), n)))
+        runtime.cluster.hooks.fire(
+            Hooks.RECOVERY_RECONCILE, failed, action="barrier-reconcile",
+            generations=dict(generations))
 
         # -- 8. release the rendezvous -----------------------------------------
         for agent in agents.values():
@@ -432,10 +508,12 @@ class RecoveryManager:
         self.active = None
         self.recoveries += 1
         self.last_recovery_us = self.engine.now - t_start
-        for rec in resumed:
+        for rec, used_seq in resumed:
             runtime.spawn_thread(rec)
             runtime.cluster.hooks.fire(Hooks.THREAD_RESUMED, backup_id,
-                                       tid=rec.tid)
+                                       tid=rec.tid, ward=failed,
+                                       seq=used_seq,
+                                       max_valid_seq=max_seq)
         done, self._done_event = self._done_event, None
         self._quiescent = None
         done.succeed(None)

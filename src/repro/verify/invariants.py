@@ -26,6 +26,17 @@
   the run every send to a still-live node was applied at least once,
   and every *published* release's interval is reflected in its pages'
   primary-home version tables (no diff dropped during reassignment).
+* **recovery reconciliation** -- recovery must never roll *back* a
+  release the oracle saw published (its effects are visible: replaying
+  it doubles every RMW in the interval -- the 145/1/475 divergence),
+  and no thread may resume from a state checkpointed under a seq past
+  the checkpoint horizon or equal to a rolled-back release.
+* **barrier-epoch consistency** -- at every barrier reconciliation
+  point (recovery step 7b) all live nodes must agree on the merged
+  per-barrier generation counts, and no unfinished thread may carry a
+  ``("__bar__", bid)`` epoch beyond its node's completed count. A
+  thread ahead of its node deadlocks the next generation (the
+  145/1/612 divergence).
 
 The checker is pure observer: it subscribes to hooks, installs the
 (otherwise inert) per-agent ``write_observer``, and never mutates
@@ -97,6 +108,10 @@ class RecoveryInvariantChecker:
         self._last_interval: Dict[int, int] = {}
         self._last_state_seq: Dict[Tuple[int, int], int] = {}
         self._last_pending_seq: Dict[int, int] = {}
+        #: ward -> seq of its last release known complete at a backup.
+        self._last_complete_seq: Dict[int, int] = {}
+        #: ward -> seq recovery chose to roll back (per recovery).
+        self._rolled_back: Dict[int, int] = {}
         #: (writer, seq, page, phase, target) -> count.
         self._sends: Dict[tuple, int] = {}
         self._applies: Dict[tuple, int] = {}
@@ -109,6 +124,8 @@ class RecoveryInvariantChecker:
         hooks.on(Hooks.DIFF_SEND, self._on_diff_send)
         hooks.on(Hooks.DIFF_APPLY, self._on_diff_apply)
         hooks.on(Hooks.FAILURE_DETECTED, self._on_failure)
+        hooks.on(Hooks.RECOVERY_RECONCILE, self._on_reconcile)
+        hooks.on(Hooks.THREAD_RESUMED, self._on_thread_resumed)
         if "release" in self.points:
             hooks.on(Hooks.RELEASE_DONE,
                      lambda node_id, **info: self.audit("release"))
@@ -183,6 +200,8 @@ class RecoveryInvariantChecker:
             self._last_pending_seq[ward] = max(last, seq)
         elif kind == "complete":
             self.oracle.publish(ward, seq)
+            self._last_complete_seq[ward] = max(
+                self._last_complete_seq.get(ward, 0), seq)
 
     def _on_diff_send(self, node_id: int, phase: str, seq: int,
                       interval: int, page: int, target: int,
@@ -217,6 +236,79 @@ class RecoveryInvariantChecker:
         self.oracle.drop_node(failed)
         if "failure" in self.points:
             self.audit("failure")
+
+    def _on_reconcile(self, failed: int, action: str = "",
+                      **info) -> None:
+        if action == "rollback":
+            seq = info.get("seq")
+            if seq is None:
+                return
+            self._rolled_back[failed] = seq
+            if (failed, seq) in self.oracle.published:
+                self._report(
+                    "published-rollback",
+                    f"recovery rolled back release seq {seq} of node "
+                    f"{failed} whose effects were already published "
+                    f"through point B (replaying it doubles every RMW "
+                    f"in the interval)")
+        elif action == "barrier-reconcile":
+            self._audit_barrier_epochs(info.get("generations") or {})
+
+    def _audit_barrier_epochs(self, generations: Dict[int, int]) -> None:
+        """Barrier-epoch consistency at a RECOVERY_RECONCILE point:
+        recovery runs at quiescence, so after step 7b every live node
+        must hold exactly the merged generation counts and no
+        unfinished thread may be ahead of its node."""
+        self.audits_run += 1
+        failed = self.runtime.homes.failed
+        agents = self.runtime.agents
+        for agent in agents:
+            if agent.node_id in failed:
+                continue
+            for bid, gen in generations.items():
+                have = agent.barrier_done.get(bid, 0)
+                if have != gen:
+                    self._report(
+                        "barrier-agreement",
+                        f"after reconciliation node {agent.node_id} "
+                        f"counts {have} completed generations of "
+                        f"barrier {bid}, merged truth is {gen}")
+        for rec in self.runtime.threads:
+            if rec.finished or rec.current_node in failed:
+                continue
+            node_done = agents[rec.current_node].barrier_done
+            for key, epoch in rec.ctx.state.items():
+                if not (isinstance(key, tuple) and len(key) == 2
+                        and key[0] == "__bar__"):
+                    continue
+                bid = key[1]
+                if epoch > node_done.get(bid, 0):
+                    self._report(
+                        "barrier-epoch",
+                        f"thread {rec.tid} on node {rec.current_node} "
+                        f"carries barrier {bid} epoch {epoch} beyond "
+                        f"its node's completed count "
+                        f"{node_done.get(bid, 0)} (the next generation "
+                        f"would deadlock)")
+
+    def _on_thread_resumed(self, node_id: int, tid: int = -1,
+                           ward: Optional[int] = None,
+                           seq: Optional[int] = None,
+                           max_valid_seq: Optional[int] = None,
+                           **info) -> None:
+        if ward is None or seq is None:
+            return
+        if max_valid_seq is not None and seq > max_valid_seq:
+            self._report(
+                "resume-horizon",
+                f"thread {tid} of node {ward} resumed from checkpoint "
+                f"seq {seq} past the valid horizon {max_valid_seq}")
+        if self._rolled_back.get(ward) == seq:
+            self._report(
+                "resume-after-rollback",
+                f"thread {tid} of node {ward} resumed from a state "
+                f"checkpointed under rolled-back release seq {seq} "
+                f"(its pre-rollback progress would replay)")
 
     # ------------------------------------------------------------------
     # Audits

@@ -20,6 +20,14 @@ releases still in flight are excluded, and stops that land inside a
 recovery window (or between a silent death and its detection) report
 "not auditable" and are treated as clean for the search, so the
 bisection converges on the first *auditable* divergence.
+
+Every full re-execution runs under a per-run simulated-time budget
+(``sim_budget_us``): a regression back into deadlock generates poll
+events forever, and an event-starved hang would otherwise park the
+recorder indefinitely. A run that exhausts its budget with unfinished
+threads is classified as a ``hang`` (and reported with the stuck
+thread ids) instead of a state ``mismatch``; hangs skip the oracle
+bisection, whose probes audit memory state, not liveness.
 """
 
 from __future__ import annotations
@@ -93,20 +101,44 @@ def build_runtime(scenario: ReplayScenario) -> SvmRuntime:
     return runtime
 
 
+#: Default per-run simulated-time budget. Generously above any clean
+#: model-check run (they finish in tens of milliseconds of simulated
+#: time) so only genuine hangs trip it.
+DEFAULT_SIM_BUDGET_US = 1_000_000.0
+
+
+def classify_outcome(error: Optional[str], runtime,
+                     sim_budget_us: Optional[float]) -> str:
+    """``clean`` / ``hang`` / ``mismatch`` for one capped run."""
+    if error is None:
+        return "clean"
+    unfinished = any(not rec.finished for rec in runtime.threads)
+    if unfinished and sim_budget_us is not None \
+            and runtime.engine.now >= sim_budget_us:
+        return "hang"
+    return "mismatch"
+
+
 def record_trace(scenario: ReplayScenario, path,
-                 capacity: int = 500_000) -> dict:
+                 capacity: int = 500_000,
+                 sim_budget_us: Optional[float] = DEFAULT_SIM_BUDGET_US
+                 ) -> dict:
     """Run the scenario once, recording the full event trace to
     ``path`` (JSONL). Returns the header written (scenario + outcome);
-    an analytic-verify or protocol error is captured, not raised."""
+    an analytic-verify or protocol error is captured, not raised, and
+    a run that exhausts ``sim_budget_us`` is recorded as a hang."""
     runtime = build_runtime(scenario)
     trace = ProtocolTrace(runtime.cluster, events=FULL_EVENTS,
                           capacity=capacity)
     error = None
     try:
-        runtime.run()
+        runtime.run(max_sim_us=sim_budget_us)
     except Exception as exc:  # noqa: BLE001 -- recorded, not hidden
         error = f"{type(exc).__name__}: {exc}"
     header = {"scenario": scenario.to_dict(), "error": error,
+              "outcome": classify_outcome(error, runtime, sim_budget_us),
+              "unfinished": [rec.tid for rec in runtime.threads
+                             if not rec.finished],
               "elapsed_us": runtime.engine.now, "events": len(trace)}
     trace.export_jsonl(path, header=header)
     return header
@@ -177,13 +209,20 @@ def bisect_divergence(scenario: ReplayScenario,
     }
 
 
-def replay_trace(path) -> dict:
+def replay_trace(path,
+                 sim_budget_us: Optional[float] = DEFAULT_SIM_BUDGET_US
+                 ) -> dict:
     """Re-execute a recorded trace end to end with the invariant
     checker attached; on divergence, bisect to the first bad event.
 
-    Returns ``{"scenario", "error", "findings", "first_divergence"}``
-    where ``first_divergence`` is :func:`bisect_divergence`'s result
-    (None when the replay is clean)."""
+    Returns ``{"scenario", "error", "outcome", "unfinished",
+    "elapsed_us", "findings", "first_divergence"}``. ``outcome`` is
+    ``clean``, ``mismatch``, or ``hang`` (the run exhausted its
+    sim-time budget with the listed threads unfinished). Only
+    mismatches are bisected: the probes audit memory against the
+    oracle, and a deadlocked run's memory state is typically
+    consistent -- what is wrong is liveness, which the stuck thread
+    ids and the stall watchdog localize instead."""
     header, events = load_jsonl(path)
     if header is None or "scenario" not in header:
         raise ValueError(f"{path} has no scenario header; was it "
@@ -194,16 +233,21 @@ def replay_trace(path) -> dict:
     checker = RecoveryInvariantChecker(runtime, strict=False)
     error = None
     try:
-        runtime.run()
+        runtime.run(max_sim_us=sim_budget_us)
     except Exception as exc:  # noqa: BLE001 -- reported, not hidden
         error = f"{type(exc).__name__}: {exc}"
     checker.finalize()
+    outcome = classify_outcome(error, runtime, sim_budget_us)
     first = None
-    if error is not None or checker.violations:
+    if outcome == "mismatch" or checker.violations:
         first = bisect_divergence(scenario, events)
     return {
         "scenario": scenario,
         "error": error,
+        "outcome": outcome,
+        "unfinished": [rec.tid for rec in runtime.threads
+                       if not rec.finished],
+        "elapsed_us": runtime.engine.now,
         "findings": checker.violations,
         "first_divergence": first,
     }

@@ -71,33 +71,40 @@ def test_known_seed_combinations_stay_clean(ps, cs, plan_seed, failures):
     assert checker.violations == []
 
 
-# Divergent combinations found by tests/tools/sweep_fault_seeds.py
-# (plan seeds 434..633 x failures {1,2} at program/cluster seed 145/1,
-# 2026-08: 397/400 clean). Each entry is xfail(strict=True) until its
-# bug is fixed -- drop the marker when it passes.
+# Formerly-divergent combinations found by
+# tests/tools/sweep_fault_seeds.py (plan seeds 434..633 x failures
+# {1,2} at program/cluster seed 145/1). All four are fixed and pinned
+# here as strict regressions; docs/RECOVERY.md has the post-mortems.
 SWEPT_DIVERGENT = [
-    # Doubled RMW: counters [301, 67, 0] != expected [247, 67, 0].
+    # Was a doubled RMW (counters [301, 67, 0] != [247, 67, 0]): the
+    # ward's checkpoint history died with its backup, so its own later
+    # failure rolled back -- and replayed -- a published release.
+    # Fixed by the checkpoint self-mirror (recovery step 6b).
     (145, 1, 475, 2),
-    # Recovery deadlock: no thread finishes even at 25x the normal
-    # simulated duration.
+    # Was a recovery deadlock: the dead node's in-flight lock-vector
+    # deposit landed *after* recovery's clear and resurrected its
+    # slot. Fixed by unmapping (shunning) failed senders at detection.
     (145, 1, 537, 2),
+    # Was a recovery deadlock: barrier generation counts diverged
+    # between survivors and a checkpoint-restored thread. Fixed by the
+    # barrier reconciliation pass (recovery step 7b) + the self-mirror.
     (145, 1, 612, 2),
-    # Lost RMW found by hypothesis 2026-08 (counters [34, 0, 5] !=
-    # expected [34, 0, 84]); reproduces identically on earlier
-    # revisions, same bug family as 475 above.
+    # Was a lost RMW found by hypothesis (counters [34, 0, 5] !=
+    # [34, 0, 84]): a thread restored from its pre-init-barrier
+    # checkpoint replayed init_kernel's zeroing writes over published
+    # counters. Fixed by init-progress markers in RandomProgram.
     (180, 1, 3826, 2),
 ]
 
 
-@pytest.mark.parametrize("ps,cs,plan_seed,failures", [
-    pytest.param(*case, marks=pytest.mark.xfail(
-        strict=True, reason="pinned by sweep; fix pending"))
-    for case in SWEPT_DIVERGENT
-])
+@pytest.mark.parametrize("ps,cs,plan_seed,failures", SWEPT_DIVERGENT)
 def test_swept_divergent_seeds(ps, cs, plan_seed, failures):
     runtime = make_runtime(ps, cs, "ft")
     FaultPlan.random_plan(random.Random(plan_seed), 4,
                           failures).apply(runtime)
-    # The deadlock cases generate poll events forever; the cap turns
-    # them into a deterministic "threads never finished" failure.
+    checker = RecoveryInvariantChecker(runtime)
+    # A regression back into deadlock would generate poll events
+    # forever; the cap turns it into a deterministic failure.
     runtime.run(max_sim_us=200_000.0)
+    checker.finalize()
+    assert checker.violations == []

@@ -21,7 +21,7 @@ from repro.verify.replay import ReplayScenario, build_runtime
 GOLDEN_SCENARIO = dict(program_seed=145, cluster_seed=1,
                        plan_seed=533, failures=2)
 GOLDEN_DIGEST = (
-    "fb77413d903749c3c9f880e53aa9dc1afda200e18adb65767f77ba876df7b433")
+    "992c9041ad9b2e069992ceaefcdf4aadbdc8f9ed356039f1a23d226a56e21bd3")
 
 
 def _record(scenario=None):

@@ -61,19 +61,24 @@ def test_run_report_is_selfcontained_html():
 
 
 def test_run_report_includes_watchdog_dumps_when_stalled():
+    # A synthetic stall (one thread never spawned, the rest park at
+    # barrier 0 forever) -- this test formerly rode the 537x2 recovery
+    # deadlock, which is fixed and now runs clean.
     runtime = build_runtime(ReplayScenario(
-        program_seed=145, cluster_seed=1, plan_seed=537, failures=2))
+        program_seed=145, cluster_seed=1))
     recorder = FlightRecorder(runtime)
     sampler = TimeSeriesSampler(runtime, period_us=500.0)
     sampler.start()
     dog = StallWatchdog(runtime, horizon_us=20_000.0, recorder=recorder)
     dog.start()
-    try:
-        runtime.run(max_sim_us=200_000.0)
-    except Exception:
-        pass
+    runtime.workload.setup(runtime)
+    runtime._create_threads()
+    for rec in runtime.threads:
+        if rec.tid != 3:
+            runtime.spawn_thread(rec)
+    runtime.engine.run(until=100_000.0)
     recorder.detach()
-    page = render_run_report("mc 145/1/537x2", "deadlock", None,
+    page = render_run_report("synthetic stall", "deadlock", None,
                              recorder, sampler, dog,
                              trace_file="trace.json")
     assert "Stall watchdog" in page

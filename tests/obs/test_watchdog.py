@@ -1,42 +1,46 @@
-"""Stall watchdog against the two known-deadlocking fault schedules.
+"""Stall watchdog against a synthetic barrier stall.
 
-Plans 537x2 and 612x2 (seed 145/1) hang after their second recovery --
-tracked as xfail regressions in tests/integration. The watchdog's job is
-to turn that silent hang into an actionable wait-for dump, so these
-tests assert it fires, names the blocked threads, and surfaces the
-barrier state and in-flight releases that the post-mortem in
-docs/RECOVERY.md is built on.
+These tests originally rode the two known-deadlocking fault schedules
+(plans 537x2 and 612x2 at seed 145/1). Both are fixed -- see
+docs/RECOVERY.md -- and now run clean, so the watchdog is exercised
+against a manufactured stall instead: one thread is simply never
+spawned, leaving every other thread parked at barrier 0 forever. That
+reproduces the watchdog-relevant shape of the old deadlocks (a quiet
+hook stream with threads waiting on a barrier generation that cannot
+complete) without depending on a protocol bug staying broken.
 """
 
-import pytest
-
-from repro.errors import ProtocolError
 from repro.obs import StallWatchdog, build_waitfor, format_waitfor
 from repro.verify.replay import ReplayScenario, build_runtime
 
-DEADLOCK_PLANS = [537, 612]
 
-
-def _run_deadlock(plan_seed):
+def _run_stalled():
+    """Run with the last thread missing: everyone else ends up parked
+    at the first barrier. Two threads per node so each node has a
+    follower waiting on the named ``bar{id}.{epoch}`` event (with one
+    thread per node every arrival is a leader, parked inside the
+    internode exchange instead)."""
     runtime = build_runtime(ReplayScenario(
-        program_seed=145, cluster_seed=1,
-        plan_seed=plan_seed, failures=2))
+        program_seed=145, cluster_seed=1, threads_per_node=2))
     dog = StallWatchdog(runtime, horizon_us=20_000.0)
     dog.start()
-    with pytest.raises(ProtocolError):
-        runtime.run(max_sim_us=200_000.0)
+    runtime.workload.setup(runtime)
+    runtime._create_threads()
+    victim = runtime.threads[-1].tid
+    for rec in runtime.threads:
+        if rec.tid != victim:
+            runtime.spawn_thread(rec)
+    runtime.engine.run(until=100_000.0)
     return runtime, dog
 
 
-@pytest.mark.parametrize("plan_seed", DEADLOCK_PLANS)
-def test_watchdog_fires_on_deadlock(plan_seed):
-    runtime, dog = _run_deadlock(plan_seed)
-    assert dog.dumps, "watchdog never fired on a known deadlock"
+def test_watchdog_fires_on_stall():
+    runtime, dog = _run_stalled()
+    assert dog.dumps, "watchdog never fired on a stalled run"
     report = dog.dumps[0]
     assert "wait-for graph" in report
     assert "thread" in report
-    # The dump must name at least one blocked thread with its wait
-    # reason; both plans stall with a survivor parked on barrier 0.
+    # The dump must name the blocked threads with their wait reason.
     assert "barrier" in report
     graph = dog.graphs[0]
     waiting = [t for t in graph["threads"]
@@ -45,27 +49,35 @@ def test_watchdog_fires_on_deadlock(plan_seed):
     assert any(t["kind"] == "barrier" for t in waiting)
 
 
-@pytest.mark.parametrize("plan_seed", DEADLOCK_PLANS)
-def test_waitfor_graph_shows_stalled_state(plan_seed):
-    runtime, dog = _run_deadlock(plan_seed)
+def test_waitfor_graph_shows_stalled_state():
+    runtime, dog = _run_stalled()
     graph = dog.graphs[-1]
-    # Both schedules end with two detected failures and a barrier
-    # generation waiting on an arrival that can never come.
-    assert len(graph["homes"]["failed"]) == 2
-    # The stuck barrier shows up either as a generation with missing
-    # arrivals at the manager (537x2) or, when the arrival itself was
-    # lost across the manager change, as a thread parked forever on the
-    # barrier event with no generation open at all (612x2).
-    stalled_barriers = [b for b in graph["barriers"] if b["missing"]]
-    barrier_waiters = [t for t in graph["threads"]
-                       if not t["finished"] and t["kind"] == "barrier"]
-    assert stalled_barriers or barrier_waiters
-    # An in-flight release frozen mid-protocol on a dead node is the
-    # other half of the post-mortem; 537x2 and 612x2 both exhibit one.
-    frozen = [entry for node in graph["inflight"].values()
-              for entry in node]
-    assert frozen, "no in-flight release captured"
-    assert all("stage" in entry for entry in frozen)
+    # The stuck barrier shows up as a generation with missing arrivals
+    # at the manager (the victim thread's node never arrived).
+    stalled = [b for b in graph["barriers"] if b["missing"]]
+    assert stalled, "no barrier generation with missing arrivals"
+    assert 3 in stalled[0]["missing"]  # the victim lives on node 3
+
+
+def test_waitfor_barrier_waiters_carry_epochs():
+    """Each barrier waiter reports the generation its wait event names,
+    its own completed-epoch counter, and its node's -- the three
+    numbers the 612x2 post-mortem had to be reconstructed from."""
+    runtime, dog = _run_stalled()
+    graph = dog.graphs[-1]
+    waiters = [t for t in graph["threads"]
+               if not t["finished"] and t["kind"] == "barrier"]
+    assert waiters, "no thread parked on a barrier"
+    for t in waiters:
+        assert t["wait_epoch"] is not None
+        assert t["thread_epoch"] >= 0
+        assert t["node_done"] >= 0
+        # Nobody has completed generation 0 of the stuck barrier, and
+        # a waiter can never be *ahead* of the epoch it waits in.
+        assert t["thread_epoch"] <= t["wait_epoch"]
+    report = format_waitfor(graph)
+    assert "thread epoch" in report
+    assert "node done" in report
 
 
 def test_watchdog_is_quiet_on_clean_run():
@@ -75,6 +87,19 @@ def test_watchdog_is_quiet_on_clean_run():
     dog.start()
     runtime.run()
     assert not dog.dumps
+
+
+def test_watchdog_is_quiet_on_fixed_deadlock_plans():
+    """The two formerly-deadlocking schedules now finish: the watchdog
+    must see continuous progress and never dump."""
+    for plan_seed in (537, 612):
+        runtime = build_runtime(ReplayScenario(
+            program_seed=145, cluster_seed=1,
+            plan_seed=plan_seed, failures=2))
+        dog = StallWatchdog(runtime, horizon_us=20_000.0)
+        dog.start()
+        runtime.run()
+        assert not dog.dumps, f"plan {plan_seed} dumped a stall"
 
 
 def test_format_waitfor_renders_live_runtime():

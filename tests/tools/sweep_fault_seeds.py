@@ -66,7 +66,13 @@ def main(argv=None) -> int:
                              "145/1/533 case)")
     parser.add_argument("--plan-count", type=int, default=200)
     parser.add_argument("--failures", default="1,2",
-                        help="comma-separated failure counts")
+                        help="comma-separated failure counts (e.g. "
+                             "1,2,3; counts above num_nodes-2 are "
+                             "clamped by FaultPlan.random_plan)")
+    parser.add_argument("--num-nodes", type=int, default=4,
+                        help="cluster size; at least failures+2 nodes "
+                             "are needed for a plan to actually "
+                             "inject that many failures")
     parser.add_argument("--check", action="store_true",
                         help="also attach the recovery invariant "
                              "checker to every run")
@@ -85,10 +91,24 @@ def main(argv=None) -> int:
     from repro.parallel import model_check_spec, resolve_jobs, run_specs
 
     failure_counts = [int(x) for x in args.failures.split(",")]
+    cap = args.num_nodes - 2
+    for count in failure_counts:
+        if count > cap:
+            # FaultPlan.random_plan keeps at least two survivors, so a
+            # plan seed at this count produces the same victims as at
+            # the cap -- run it anyway (the plan *schedule* differs:
+            # the rng consumes the same draws but the count is
+            # clamped), but say so, because "clean at failures=3" on a
+            # 4-node cluster proves nothing beyond failures=2.
+            print(f"note: failures={count} exceeds num_nodes-2={cap}; "
+                  f"FaultPlan.random_plan clamps to {cap} (grow "
+                  f"--num-nodes to actually inject {count})",
+                  flush=True)
     seeds = range(args.plan_start, args.plan_start + args.plan_count)
     specs = [model_check_spec(args.program_seed, args.cluster_seed,
                               plan_seed, failures, check=args.check,
-                              max_sim_us=args.max_sim_us)
+                              max_sim_us=args.max_sim_us,
+                              num_nodes=args.num_nodes)
              for plan_seed in seeds for failures in failure_counts]
     total = len(specs)
     bad = []
@@ -127,7 +147,7 @@ def main(argv=None) -> int:
           f"(program_seed={args.program_seed}, "
           f"cluster_seed={args.cluster_seed}, plan seeds "
           f"{args.plan_start}..{args.plan_start + args.plan_count - 1}, "
-          f"failures={failure_counts})")
+          f"failures={failure_counts}, num_nodes={args.num_nodes})")
     if bad:
         print(f"{len(bad)} divergent:")
         for plan_seed, failures, status, detail in bad:
