@@ -1,3 +1,21 @@
-from setuptools import setup
+"""Build configuration.
 
-setup()
+The compiled simulation core is *optional*: ``python setup.py
+build_ext --inplace`` compiles ``repro.sim._ccore`` next to the pure
+sources, and :mod:`repro.sim._core` picks it up automatically.  A
+missing compiler (or any build failure) degrades to a warning -- the
+pure-Python reference implementation is always sufficient.
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ccore",
+            sources=["src/repro/sim/_ccore.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        ),
+    ],
+)

@@ -36,10 +36,12 @@ class Node:
 
         self.regions = RegionTable(node_id)
         self.bus = Resource(engine, capacity=1, name=f"node{node_id}.bus")
+        contended = config.memory.model_bus_contention
         self.nic = NIC(engine, node_id, config.network, self.rng,
                        regions=self.regions,
-                       dma_charge=self._dma_charge
-                       if config.memory.model_bus_contention else None)
+                       dma_bus=self.bus if contended else None,
+                       dma_bandwidth=config.memory.bus_bandwidth_bytes_per_us
+                       if contended else None)
         self.vmmc = VMMC(engine, self.nic, config.costs)
 
         #: Every simulated process running on this node (compute threads,
@@ -62,14 +64,6 @@ class Node:
         self._processes.append(proc)
 
     # -- memory-system costs --------------------------------------------------
-
-    def _dma_charge(self, nbytes: int):
-        """Bus occupancy of one DMA transfer (generator, used by the NIC)."""
-        yield self.bus.acquire()
-        try:
-            yield Delay(nbytes / self.config.memory.bus_bandwidth_bytes_per_us)
-        finally:
-            self.bus.release()
 
     def mem_copy(self, nbytes: int):
         """Generator charging the time of a local memory copy.

@@ -295,6 +295,17 @@ def apply_diff(buf: bytearray, diff: Diff) -> None:
         buf[offset:offset + len(data)] = data
 
 
+#: Scratch page reused across :func:`merge_diffs` calls. Merging is on
+#: the release hot path (one call per batched page), and a fresh
+#: page-sized bytearray per call was pure allocator churn: every byte
+#: of every emitted run is written before it is read -- run payloads
+#: first, then base-sourced gap fill -- so content left over from a
+#: previous call can never leak into the output (pinned by the scratch
+#: reuse tests in ``tests/memory/test_diff_equivalence.py``). The
+#: simulator is single-threaded; parallel sweeps fork interpreters.
+_MERGE_SCRATCH = bytearray(0)
+
+
 def merge_diffs(page_id: int, diffs: Iterable[Diff], page_size: int,
                 merge_gap: int = 8,
                 base: Optional[bytes] = None) -> Diff:
@@ -310,7 +321,10 @@ def merge_diffs(page_id: int, diffs: Iterable[Diff], page_size: int,
     ``base`` the gap content is unknown, so such runs stay separate --
     merging them would fabricate bytes.
     """
-    scratch = bytearray(page_size)
+    global _MERGE_SCRATCH
+    if len(_MERGE_SCRATCH) < page_size:
+        _MERGE_SCRATCH = bytearray(page_size)
+    scratch = _MERGE_SCRATCH
     intervals: List[List[int]] = []
     for diff in diffs:
         if diff.page_id != page_id:

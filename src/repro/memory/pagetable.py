@@ -6,13 +6,18 @@ page, and the SVM protocol's segv handler takes over. Here every
 application access is routed through :class:`PageTable`, which raises
 :class:`~repro.errors.ProtectionFault` at exactly the same points; the
 protocol layer catches the fault and runs its handler.
+
+Storage is a slot-indexed list (page id -> entry, ``None`` until first
+touch) rather than a dict: the access checks and span probes on the
+fault/fast paths become plain list indexing, and
+:class:`PageTableEntry` is a ``__slots__`` class so each entry is a
+single compact allocation.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.errors import MemoryError_, ProtectionFault
 
@@ -29,25 +34,30 @@ class Access(enum.Enum):
     READ_WRITE = 2   # no faults
 
 
-@dataclass
 class PageTableEntry:
-    access: Access = Access.INVALID
-    #: Twin snapshot taken at the first write of the current interval;
-    #: None when the page is clean.
-    twin: Optional[bytes] = None
-    #: True while the page sits in the current interval's update list.
-    dirty: bool = False
-    #: Written ``[start, end)`` extents since the twin was taken, kept
-    #: in write order and coalesced opportunistically. ``None`` means
-    #: tracking is off (no twin): diffs then scan the whole page.
-    #: Extents are conservative supersets of the real changes, so diff
-    #: computation restricted to them is exact.
-    dirty_regions: Optional[List[List[int]]] = None
-    #: FT protocol: page is locked during an outstanding release; page
-    #: faults on it must stall (paper Fig 4).
-    locked: bool = False
-    #: Count of faults taken on this page (diagnostics).
-    faults: int = 0
+    """Protection and protocol state of one page at one node."""
+
+    __slots__ = ("access", "twin", "dirty", "dirty_regions", "locked",
+                 "faults")
+
+    def __init__(self) -> None:
+        self.access = Access.INVALID
+        #: Twin snapshot taken at the first write of the current
+        #: interval; None when the page is clean.
+        self.twin: Optional[bytes] = None
+        #: True while the page sits in the current interval's update list.
+        self.dirty = False
+        #: Written ``[start, end)`` extents since the twin was taken,
+        #: kept in write order and coalesced opportunistically. ``None``
+        #: means tracking is off (no twin): diffs then scan the whole
+        #: page. Extents are conservative supersets of the real changes,
+        #: so diff computation restricted to them is exact.
+        self.dirty_regions: Optional[List[List[int]]] = None
+        #: FT protocol: page is locked during an outstanding release;
+        #: page faults on it must stall (paper Fig 4).
+        self.locked = False
+        #: Count of faults taken on this page (diagnostics).
+        self.faults = 0
 
 
 class PageTable:
@@ -57,12 +67,16 @@ class PageTable:
         if num_pages <= 0:
             raise MemoryError_("page table needs >= 1 page")
         self.num_pages = num_pages
-        self._entries: Dict[int, PageTableEntry] = {}
+        #: page id -> entry; None until the page is first touched.
+        self._entries: List[Optional[PageTableEntry]] = [None] * num_pages
 
     def entry(self, page_id: int) -> PageTableEntry:
-        if not 0 <= page_id < self.num_pages:
+        try:
+            ent = self._entries[page_id]
+        except IndexError:
+            raise MemoryError_(f"page {page_id} out of range") from None
+        if page_id < 0:
             raise MemoryError_(f"page {page_id} out of range")
-        ent = self._entries.get(page_id)
         if ent is None:
             ent = PageTableEntry()
             self._entries[page_id] = ent
@@ -92,20 +106,24 @@ class PageTable:
         and fall back to the faulting per-access path without
         double-counting the fault it is about to take.
         """
+        if first_page < 0 or last_page >= self.num_pages:
+            return False
         entries = self._entries
         invalid = Access.INVALID
         for page_id in range(first_page, last_page + 1):
-            ent = entries.get(page_id)
+            ent = entries[page_id]
             if ent is None or ent.access is invalid:
                 return False
         return True
 
     def can_write_span(self, first_page: int, last_page: int) -> bool:
         """True when every page of ``[first_page, last_page]`` is writable."""
+        if first_page < 0 or last_page >= self.num_pages:
+            return False
         entries = self._entries
         read_write = Access.READ_WRITE
         for page_id in range(first_page, last_page + 1):
-            ent = entries.get(page_id)
+            ent = entries[page_id]
             if ent is None or ent.access is not read_write:
                 return False
         return True
@@ -120,7 +138,8 @@ class PageTable:
         ent.access = Access.INVALID
 
     def dirty_pages(self) -> list[int]:
-        return sorted(pid for pid, ent in self._entries.items() if ent.dirty)
+        return [pid for pid, ent in enumerate(self._entries)
+                if ent is not None and ent.dirty]
 
     def clear_dirty(self, page_id: int) -> None:
         ent = self.entry(page_id)
@@ -143,7 +162,7 @@ class PageTable:
         the diff is computed. Overflow collapses to the convex hull so
         bookkeeping stays O(1) per write.
         """
-        ent = self._entries.get(page_id)
+        ent = self._entries[page_id]
         if ent is None:
             return
         regions = ent.dirty_regions
@@ -164,4 +183,4 @@ class PageTable:
             ent.dirty_regions = [[lo, hi]]
 
     def total_faults(self) -> int:
-        return sum(ent.faults for ent in self._entries.values())
+        return sum(ent.faults for ent in self._entries if ent is not None)

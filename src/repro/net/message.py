@@ -9,13 +9,12 @@ occupancy modelling sees realistic message sizes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Bytes of header/envelope per message on the wire.
 HEADER_BYTES = 32
 
-_message_ids = itertools.count(1)
+_next_message_id = itertools.count(1).__next__
 
 
 class MessageKind:
@@ -31,25 +30,37 @@ class MessageKind:
     SERVICE_REPLY = "service_reply"
 
 
-@dataclass
 class Message:
-    """One message on the simulated wire."""
+    """One message on the simulated wire.
 
-    kind: str
-    src: int
-    dst: int
-    body_bytes: int
-    payload: Any = None
-    #: Optional completion event: succeeds once the message's effect has
-    #: been applied at the destination, fails with RemoteNodeFailure if
-    #: the destination is (or becomes) dead. Asynchronous senders leave
-    #: it None and rely on FIFO ordering plus later synchronous ops.
-    completion: Optional[Any] = None
-    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    A ``__slots__`` class rather than a dataclass: messages are the
+    highest-volume allocation on the NIC hot loops, and the slot layout
+    drops the per-instance ``__dict__``. ``wire_bytes`` is precomputed
+    (it is read several times per message: sender serialization,
+    receiver occupancy, DMA charge, byte counters) and ``msg_id`` comes
+    from a bound counter instead of a ``default_factory`` lambda.
+    """
 
-    @property
-    def wire_bytes(self) -> int:
-        return HEADER_BYTES + self.body_bytes
+    __slots__ = ("kind", "src", "dst", "body_bytes", "payload",
+                 "completion", "msg_id", "wire_bytes")
+
+    def __init__(self, kind: str, src: int, dst: int, body_bytes: int,
+                 payload: Any = None,
+                 completion: Optional[Any] = None,
+                 msg_id: Optional[int] = None) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.body_bytes = body_bytes
+        self.payload = payload
+        #: Optional completion event: succeeds once the message's effect
+        #: has been applied at the destination, fails with
+        #: RemoteNodeFailure if the destination is (or becomes) dead.
+        #: Asynchronous senders leave it None and rely on FIFO ordering
+        #: plus later synchronous ops.
+        self.completion = completion
+        self.msg_id = _next_message_id() if msg_id is None else msg_id
+        self.wire_bytes = HEADER_BYTES + body_bytes
 
     def __repr__(self) -> str:  # compact, for traces
         return (f"<msg#{self.msg_id} {self.kind} {self.src}->{self.dst} "

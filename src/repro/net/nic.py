@@ -15,17 +15,25 @@ involving the host processor, mirroring VMMC's remote deposit/fetch.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Generator, Optional
+from typing import Callable, Dict, Optional
 
 from repro.config import NetworkParams
 from repro.errors import NetworkError, RemoteNodeFailure
 from repro.net.message import Message, MessageKind
 from repro.net.regions import RegionTable
 from repro.sim import Delay, Engine, Event, Store
+from repro.sim.resources import EMPTY, Resource
 
-#: Type of an optional DMA-cost hook: ``dma_charge(nbytes)`` is a
-#: generator charging memory-bus occupancy for a transfer of nbytes.
-DmaCharge = Callable[[int], Generator]
+# Hoisted enum members: ``_dispatch`` runs per received message, and a
+# module-global load + identity test beats two attribute loads there.
+_DEPOSIT = MessageKind.DEPOSIT
+_FETCH_REQ = MessageKind.FETCH_REQ
+_FETCH_REPLY = MessageKind.FETCH_REPLY
+_PROBE = MessageKind.PROBE
+_PROBE_ACK = MessageKind.PROBE_ACK
+_SERVICE_REQ = MessageKind.SERVICE_REQ
+_SERVICE_REPLY = MessageKind.SERVICE_REPLY
+_NOTIFY = MessageKind.NOTIFY
 
 
 class NIC:
@@ -34,14 +42,22 @@ class NIC:
     def __init__(self, engine: Engine, node_id: int, params: NetworkParams,
                  rng: random.Random,
                  regions: Optional[RegionTable] = None,
-                 dma_charge: Optional[DmaCharge] = None) -> None:
+                 dma_bus: Optional[Resource] = None,
+                 dma_bandwidth: Optional[float] = None) -> None:
         self.engine = engine
         self.node_id = node_id
         self._reply_name = f"nic{node_id}.reply"
         self.params = params
         self.rng = rng
         self.regions = regions if regions is not None else RegionTable(node_id)
-        self.dma_charge = dma_charge
+        #: Memory-bus contention modelling: when ``dma_bus`` is set,
+        #: every DMA transfer holds the bus for ``nbytes /
+        #: dma_bandwidth`` microseconds. (Formerly an opaque generator
+        #: hook; the sender/receiver loops now inline the
+        #: acquire/delay/release, which drops one generator allocation
+        #: and two resume hops per message per side.)
+        self.dma_bus = dma_bus
+        self.dma_bandwidth = dma_bandwidth
         self.alive = True
         self.network = None  # attached by Network.attach()
         #: Nodes whose failure has been detected. VMMC unmaps the
@@ -78,19 +94,40 @@ class NIC:
 
     # -- host-side API -----------------------------------------------------
 
-    def post(self, msg: Message):
-        """Post an asynchronous send (generator; host-side cost included).
+    def post_charge(self) -> Delay:
+        """Host-side cost of one post; yield the returned Delay.
 
-        Blocks (in simulated time) when the post queue is full, exactly
-        like the paper's description of the full NIC queue stalling the
-        sending processor.
+        Split from :meth:`post_enqueue` so hot callers can post without
+        a delegated generator: ``yield nic.post_charge()`` then check
+        ``post_enqueue``. Raises when the NIC is down.
         """
         if not self.alive:
             raise NetworkError(f"node {self.node_id}: NIC is down")
-        yield self._delay_post
-        if self.post_queue.is_full:
+        return self._delay_post
+
+    def post_enqueue(self, msg: Message) -> Optional[Event]:
+        """Enqueue a message after the post charge was paid.
+
+        Returns ``None`` when the queue accepted the message, or the
+        park event the caller must yield when the queue is full --
+        the paper's full-NIC-queue stall of the posting processor.
+        """
+        queue = self.post_queue
+        if queue.is_full:
             self.post_queue_stalls += 1
-        yield self.post_queue.put(msg)
+        ev = queue.put(msg)
+        return None if ev._settled else ev
+
+    def post(self, msg: Message):
+        """Post an asynchronous send (generator; host-side cost included).
+
+        Convenience wrapper over :meth:`post_charge` +
+        :meth:`post_enqueue` for callers off the hot path.
+        """
+        yield self.post_charge()
+        ev = self.post_enqueue(msg)
+        if ev is not None:
+            yield ev
 
     def register_notify_handler(self, channel: str,
                                 handler: Callable[[Message], None]) -> None:
@@ -163,20 +200,37 @@ class NIC:
     def _sender(self):
         # Per-message loop: hoist everything fixed for the NIC's
         # lifetime out of it (params never change after construction).
-        get = self.post_queue.get
+        # ``get_nowait`` skips the Event allocation whenever a message
+        # is already queued; the DMA bus charge is inlined (acquire /
+        # hold for the transfer / release) instead of delegating to a
+        # per-message generator.
+        store = self.post_queue
+        get_nowait = store.get_nowait
+        get = store.get
         delay_per_msg = self._delay_per_msg
-        dma_charge = self.dma_charge
+        bus = self.dma_bus
+        bandwidth = self.dma_bandwidth
         error_rate = self.params.transient_error_rate
         transfer_time_us = self.params.transfer_time_us
         while True:
-            msg = yield get()
+            msg = get_nowait()
+            if msg is EMPTY:
+                msg = yield get()
             yield delay_per_msg
-            if dma_charge is not None:
-                yield from dma_charge(msg.wire_bytes)
+            if bus is not None:
+                ev = bus.acquire()
+                if not ev._settled:
+                    yield ev
+                try:
+                    # Bare float yield == Delay(float): skips the
+                    # Delay allocation on the per-message hot path.
+                    yield msg.wire_bytes / bandwidth
+                finally:
+                    bus.release()
             if error_rate > 0.0 and self.rng.random() < error_rate:
                 # VMMC retransmits transparently; only latency is visible.
                 yield Delay(self.params.retransmit_penalty_us)
-            yield Delay(transfer_time_us(msg.wire_bytes))
+            yield transfer_time_us(msg.wire_bytes)
             self.messages_sent += 1
             self.bytes_sent += msg.wire_bytes
             self.network.transmit(msg)
@@ -190,28 +244,52 @@ class NIC:
         self._incoming.try_put(msg)
 
     def _receiver(self):
-        get = self._incoming.get
+        store = self._incoming
+        get_nowait = store.get_nowait
+        get = store.get
         delay_per_msg = self._delay_per_msg
-        dma_charge = self.dma_charge
+        bus = self.dma_bus
+        bandwidth = self.dma_bandwidth
+        dispatch = self._dispatch
         while True:
-            msg = yield get()
+            msg = get_nowait()
+            if msg is EMPTY:
+                msg = yield get()
             yield delay_per_msg
-            if dma_charge is not None:
-                yield from dma_charge(msg.wire_bytes)
+            if bus is not None:
+                ev = bus.acquire()
+                if not ev._settled:
+                    yield ev
+                try:
+                    # Bare float yield == Delay(float): skips the
+                    # Delay allocation on the per-message hot path.
+                    yield msg.wire_bytes / bandwidth
+                finally:
+                    bus.release()
             self.messages_received += 1
             self.bytes_received += msg.wire_bytes
-            yield from self._dispatch(msg)
+            follow = dispatch(msg)
+            if follow is not None:
+                yield from follow
 
     def _dispatch(self, msg: Message):
+        """Apply one arrived message; returns a follow-up generator for
+        the receiver to drive when the message needs to block (reply
+        post into a full queue, generator NOTIFY handler), else None.
+
+        A plain function rather than a generator: most kinds (deposits,
+        replies, acks) never block, so the per-message generator
+        allocation and delegation frame were pure overhead.
+        """
         if msg.src in self.dead_sources:
             # In-flight remnant of a fail-stopped node: the connection
             # was unmapped when its failure was detected.
             self.messages_shunned += 1
             if msg.completion is not None and not msg.completion.settled:
                 msg.completion.fail(RemoteNodeFailure(msg.src))
-            return
+            return None
         kind = msg.kind
-        if kind == MessageKind.DEPOSIT:
+        if kind is _DEPOSIT:
             region_name, offset, data = msg.payload
             region = self.regions.lookup(region_name)
             region.write(offset, data)
@@ -219,28 +297,35 @@ class NIC:
                 region.on_remote_write(offset, len(data), msg.src)
             if msg.completion is not None and not msg.completion.settled:
                 msg.completion.succeed(None)
-        elif kind == MessageKind.FETCH_REQ:
+            return None
+        if kind is _FETCH_REQ:
             region_name, offset, size, req_id = msg.payload
             data = self.regions.lookup(region_name).read(offset, size)
             reply = Message(MessageKind.FETCH_REPLY, self.node_id, msg.src,
                             body_bytes=len(data), payload=(req_id, data))
-            yield self.post_queue.put(reply)
-        elif kind == MessageKind.FETCH_REPLY:
+            if self.post_queue.try_put(reply):
+                return None
+            return self._post_blocking(reply)
+        if kind is _FETCH_REPLY:
             req_id, data = msg.payload
             ev = self._pending_replies.pop(req_id, None)
             if ev is not None and not ev.settled:
                 ev.succeed(data)
-        elif kind == MessageKind.PROBE:
+            return None
+        if kind is _PROBE:
             req_id = msg.payload
             ack = Message(MessageKind.PROBE_ACK, self.node_id, msg.src,
                           body_bytes=0, payload=req_id)
-            yield self.post_queue.put(ack)
-        elif kind == MessageKind.PROBE_ACK:
+            if self.post_queue.try_put(ack):
+                return None
+            return self._post_blocking(ack)
+        if kind is _PROBE_ACK:
             req_id = msg.payload
             ev = self._pending_replies.pop(req_id, None)
             if ev is not None and not ev.settled:
                 ev.succeed(True)
-        elif kind == MessageKind.SERVICE_REQ:
+            return None
+        if kind is _SERVICE_REQ:
             service, req_id, body = msg.payload
             handler = self._services.get(service)
             if handler is None:
@@ -251,12 +336,14 @@ class NIC:
                 f"nic{self.node_id}.svc.{service}")
             self._service_procs.append(proc)
             self._service_procs = [p for p in self._service_procs if p.alive]
-        elif kind == MessageKind.SERVICE_REPLY:
+            return None
+        if kind is _SERVICE_REPLY:
             req_id, body = msg.payload
             ev = self._pending_replies.pop(req_id, None)
             if ev is not None and not ev.settled:
                 ev.succeed(body)
-        elif kind == MessageKind.NOTIFY:
+            return None
+        if kind is _NOTIFY:
             channel, body = msg.payload
             handler = self._notify_handlers.get(channel)
             if handler is None:
@@ -268,11 +355,19 @@ class NIC:
                 # Generator handler: run it inline at the NIC so its
                 # costs serialize with message processing (FIFO apply
                 # order is what HLRC diff application requires).
-                yield from result
+                return self._finish_notify(result, msg)
             if msg.completion is not None and not msg.completion.settled:
                 msg.completion.succeed(None)
-        else:
-            raise NetworkError(f"unknown message kind {kind!r}")
+            return None
+        raise NetworkError(f"unknown message kind {kind!r}")
+
+    def _post_blocking(self, reply: Message):
+        yield self.post_queue.put(reply)
+
+    def _finish_notify(self, gen, msg: Message):
+        yield from gen
+        if msg.completion is not None and not msg.completion.settled:
+            msg.completion.succeed(None)
 
     def _serve(self, handler, src: int, req_id: int, body):
         reply_payload, reply_bytes = yield from handler(body, src)

@@ -68,7 +68,11 @@ class VMMC:
                       body_bytes=len(data),
                       payload=(region, offset, bytes(data)),
                       completion=completion)
-        yield from self.nic.post(msg)
+        nic = self.nic
+        yield nic.post_charge()
+        park = nic.post_enqueue(msg)
+        if park is not None:
+            yield park
         if completion is not None:
             yield from self._await_response(dst, completion)
         return None
@@ -86,7 +90,11 @@ class VMMC:
                       body_bytes=self.nic.params.control_message_bytes,
                       payload=(region, offset, size, req_id),
                       completion=reply)
-        yield from self.nic.post(msg)
+        nic = self.nic
+        yield nic.post_charge()
+        park = nic.post_enqueue(msg)
+        if park is not None:
+            yield park
         try:
             data = yield from self._await_response(dst, reply)
         finally:
@@ -105,7 +113,11 @@ class VMMC:
         msg = Message(MessageKind.NOTIFY, self.node_id, dst,
                       body_bytes=size, payload=(channel, body),
                       completion=completion)
-        yield from self.nic.post(msg)
+        nic = self.nic
+        yield nic.post_charge()
+        park = nic.post_enqueue(msg)
+        if park is not None:
+            yield park
         if completion is not None:
             yield from self._await_response(dst, completion)
         return None
@@ -125,7 +137,11 @@ class VMMC:
         msg = Message(MessageKind.SERVICE_REQ, self.node_id, dst,
                       body_bytes=size, payload=(service, req_id, body),
                       completion=reply)
-        yield from self.nic.post(msg)
+        nic = self.nic
+        yield nic.post_charge()
+        park = nic.post_enqueue(msg)
+        if park is not None:
+            yield park
         try:
             result = yield from self._await_response(dst, reply)
         finally:
@@ -149,7 +165,11 @@ class VMMC:
         reply = self.nic.expect_reply(req_id)
         msg = Message(MessageKind.PROBE, self.node_id, dst,
                       body_bytes=0, payload=req_id, completion=reply)
-        yield from self.nic.post(msg)
+        nic = self.nic
+        yield nic.post_charge()
+        park = nic.post_enqueue(msg)
+        if park is not None:
+            yield park
         try:
             ok, _value = yield from timeout_wait(
                 self.engine, reply, self.costs.heartbeat_timeout_us * 4)
@@ -170,16 +190,46 @@ class VMMC:
         """Wait on ``event``, probing ``dst`` each heart-beat timeout.
 
         Returns the event value; raises RemoteNodeFailure if the peer
-        dies first.
+        dies first. The body open-codes
+        :func:`~repro.sim.timeout_wait` (same settling order) so each
+        wait round costs one Event instead of a delegated generator --
+        this is the innermost suspension of every synchronous remote
+        operation.
         """
+        engine = self.engine
+        timeout = self.costs.heartbeat_timeout_us
         while True:
+            if event._settled:
+                if event._ok:
+                    return event._value
+                exc = event._value
+                if isinstance(exc, RemoteNodeFailure):
+                    self.known_dead.add(dst)
+                raise exc
+            combined = Event(engine, "timeout_wait")
+
+            def on_timer(combined=combined) -> None:
+                if not combined._settled:
+                    combined.succeed((1, None))
+
+            handle = engine.schedule(timeout, on_timer)
+
+            def on_event(ev: Event, combined=combined) -> None:
+                if combined._settled:
+                    return
+                if ev.failed:
+                    combined.fail(ev.value)
+                else:
+                    combined.succeed((0, ev.value))
+
+            event.add_callback(on_event)
             try:
-                ok, value = yield from timeout_wait(
-                    self.engine, event, self.costs.heartbeat_timeout_us)
+                index, value = yield combined
             except RemoteNodeFailure:
                 self.known_dead.add(dst)
                 raise
-            if ok:
+            if index == 0:
+                handle[3] = None  # cancel the timer's scheduler entry
                 return value
             alive = yield from self.probe(dst)
             if not alive:

@@ -78,6 +78,8 @@ class LockManagerBase:
         self.agent = agent
         self.engine = agent.engine
         self._states: Dict[int, _NodeLockState] = {}
+        # One immutable Delay per fixed charge instead of one per op.
+        self._delay_op = Delay(agent.costs.lock_op_us)
 
     def _state(self, lock_id: int) -> _NodeLockState:
         st = self._states.get(lock_id)
@@ -195,7 +197,7 @@ class PollingLocks(LockManagerBase):
             # polling loops are the paper's natural abort points.
             agent.check_recovery_abort()
             home = agent.homes.lock_primary(lock_id)
-            yield Delay(costs.lock_op_us)
+            yield self._delay_op
             yield from agent.deposit(
                 home, LOCKVEC_REGION, vec_base + me,
                 b"\x01", wait=True)
@@ -250,7 +252,7 @@ class PollingLocks(LockManagerBase):
                 home, LOCKTS_REGION, lock_id * self._ts_size(), blob)
             yield from agent.deposit(
                 home, LOCKVEC_REGION, self._vec_base(lock_id) + me, b"\x00")
-        yield Delay(agent.costs.lock_op_us)
+        yield self._delay_op
 
 
 class QueueingLocks(LockManagerBase):
@@ -286,7 +288,7 @@ class QueueingLocks(LockManagerBase):
     def _serve(self, body, src: int):
         op = body[0]
         agent = self.agent
-        yield Delay(agent.costs.lock_op_us)
+        yield self._delay_op
         if op == "req":
             _op, lock_id, requester = body
             entry = self._home_entry(lock_id)
@@ -358,7 +360,7 @@ class QueueingLocks(LockManagerBase):
         agent = self.agent
         st = self._state(lock_id)
         home = agent.homes.lock_primary(lock_id)
-        yield Delay(agent.costs.lock_op_us)
+        yield self._delay_op
         st.grant_event = Event(self.engine, f"qlock{lock_id}.grant")
         reply = yield from agent.call_service(
             home, QLOCK_SERVICE, ("req", lock_id, agent.node_id))

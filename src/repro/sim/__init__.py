@@ -3,26 +3,35 @@
 Public surface::
 
     from repro.sim import Engine, Process, Event, Delay, Mutex, Resource, Store
+
+Two interchangeable implementations sit behind these names: the
+pure-Python reference (:mod:`repro.sim.engine` /
+:mod:`repro.sim.process`) and an optional compiled core
+(:mod:`repro.sim._ccore`).  :mod:`repro.sim._core` selects between
+them (``REPRO_PURE=1`` forces the reference path); both produce
+bit-identical simulated behaviour.  :data:`ACCELERATED` reports which
+one is live.
 """
 
-from repro.sim.engine import (
+from repro.sim._core import (
+    ACCELERATED,
+    Delay,
     Engine,
+    Event,
+    Process,
+    any_of,
+    timeout_wait,
+)
+from repro.sim.engine import (
     PRIORITY_LATE,
     PRIORITY_NORMAL,
     PRIORITY_URGENT,
 )
-from repro.sim.process import (
-    Delay,
-    Event,
-    Interrupted,
-    Process,
-    ProcessKilled,
-    any_of,
-    timeout_wait,
-)
+from repro.sim.process import Interrupted, ProcessKilled
 from repro.sim.resources import Mutex, Resource, Store
 
 __all__ = [
+    "ACCELERATED",
     "Engine",
     "Process",
     "ProcessKilled",

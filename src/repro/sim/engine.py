@@ -9,6 +9,12 @@ which keeps this module tiny and easy to reason about.
 Determinism: ties in time are broken first by an explicit priority and
 then by insertion order (a monotone sequence number), so two runs with
 the same seed produce identical event orderings.
+
+This module is the pure-Python reference implementation of the hot
+core. When the optional compiled extension is built, the public names
+are re-exported through :mod:`repro.sim._core`, which transparently
+swaps in the accelerated versions (same semantics, bit-identical event
+order); ``REPRO_PURE=1`` forces this reference path.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
@@ -30,33 +36,19 @@ PRIORITY_URGENT = 0
 #: Priority for bookkeeping that must run after normal events at a time.
 PRIORITY_LATE = 20
 
+# Scheduler entries are plain lists ``[time, priority, seq, action]``
+# (passive metronome ticks carry a fifth ``True`` element). Lists
+# heap-compare elementwise at C speed and ``seq`` is unique, so a
+# comparison never reaches the action. Cancellation clears slot 3 in
+# place (``entry[3] = None``) -- no per-event handle object exists at
+# all, which removes one allocation + two attribute writes from every
+# schedule and a ``.cancelled`` attribute load from every dispatch.
+# (An earlier revision allocated a ``_ScheduledEvent`` handle per entry;
+# profiles of full runs showed the handle churn at ~125k allocations per
+# lock-handoff bench.)
 
-class _ScheduledEvent:
-    """A cancellable handle for an entry in the event list.
-
-    The heap itself stores ``(time, priority, seq, handle)`` tuples so
-    that sift comparisons run as C-level tuple compares (``seq`` is
-    unique, so two handles are never compared). Profiles of full
-    application runs showed a rich-comparison ``__lt__`` on this class
-    was the single largest cost in the simulator; the tuple layout
-    removes it while keeping the identical (time, priority, insertion
-    order) total order, so event orderings -- and therefore seeded-run
-    determinism -- are unchanged.
-    """
-
-    __slots__ = ("action", "cancelled", "passive")
-
-    def __init__(self, action: Callable[[], None]) -> None:
-        self.action = action
-        self.cancelled = False
-        #: Passive events (metronome ticks) observe the simulation but
-        #: are not themselves work: they never justify keeping the
-        #: event list alive.
-        self.passive = False
-
-    def cancel(self) -> None:
-        """Prevent the action from running; the heap entry is left lazily."""
-        self.cancelled = True
+#: Index of the action slot in a scheduler entry (``None`` = cancelled).
+ENTRY_ACTION = 3
 
 
 class Engine:
@@ -68,12 +60,18 @@ class Engine:
         engine.spawn(my_generator())
         engine.run()
         print(engine.now)
+
+    ``schedule``/``schedule_now``/``schedule_at`` return the scheduler
+    entry itself as a cancellation handle; pass it to :meth:`cancel`.
     """
 
+    __slots__ = ("_heap", "_fifo", "_seq", "_now", "_running",
+                 "events_executed")
+
     def __init__(self) -> None:
-        #: Heap of (time, priority, seq, _ScheduledEvent) tuples.
+        #: Heap of [time, priority, seq, action] lists.
         self._heap: list = []
-        #: Zero-delay PRIORITY_NORMAL entries, same tuple layout. Their
+        #: Zero-delay PRIORITY_NORMAL entries, same layout. Their
         #: times are non-decreasing (``now`` never goes backwards) and
         #: their seqs strictly increase, so the deque is already sorted
         #: by (time, priority, seq): ``run`` merges it with the heap by
@@ -95,19 +93,21 @@ class Engine:
         return self._now
 
     def schedule(self, delay: float, action: Callable[[], None],
-                 priority: int = PRIORITY_NORMAL) -> _ScheduledEvent:
-        """Schedule ``action()`` to run ``delay`` time units from now."""
+                 priority: int = PRIORITY_NORMAL) -> List[Any]:
+        """Schedule ``action()`` to run ``delay`` time units from now.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        time = self._now + delay
-        ev = _ScheduledEvent(action)
+        entry = [self._now + delay, priority, self._seq(), action]
         if delay == 0.0 and priority == PRIORITY_NORMAL:
-            self._fifo.append((time, priority, self._seq(), ev))
+            self._fifo.append(entry)
         else:
-            _heappush(self._heap, (time, priority, self._seq(), ev))
-        return ev
+            _heappush(self._heap, entry)
+        return entry
 
-    def schedule_now(self, action: Callable[[], None]) -> _ScheduledEvent:
+    def schedule_now(self, action: Callable[[], None]) -> List[Any]:
         """``schedule(0.0, action)`` without the generic checks.
 
         The zero-delay PRIORITY_NORMAL resume is the single most common
@@ -115,14 +115,22 @@ class Engine:
         negative-delay guard and the dispatch branch. The event-list
         slot is identical to what ``schedule`` would produce.
         """
-        ev = _ScheduledEvent(action)
-        self._fifo.append((self._now, PRIORITY_NORMAL, self._seq(), ev))
-        return ev
+        entry = [self._now, PRIORITY_NORMAL, self._seq(), action]
+        self._fifo.append(entry)
+        return entry
 
     def schedule_at(self, time: float, action: Callable[[], None],
-                    priority: int = PRIORITY_NORMAL) -> _ScheduledEvent:
+                    priority: int = PRIORITY_NORMAL) -> List[Any]:
         """Schedule ``action()`` at an absolute simulated time."""
         return self.schedule(time - self._now, action, priority)
+
+    @staticmethod
+    def cancel(handle: List[Any]) -> None:
+        """Prevent a scheduled action from running.
+
+        The event-list entry is left in place and lazily discarded.
+        """
+        handle[3] = None
 
     def spawn(self, generator: Any, name: str = "process") -> "Process":
         """Create and start a :class:`Process` running ``generator``."""
@@ -154,7 +162,7 @@ class Engine:
                 while True:
                     # Two sorted sources: take whichever head has the
                     # smaller (time, priority, seq) -- seq is unique,
-                    # so the compare never reaches the handles.
+                    # so the compare never reaches the actions.
                     if fifo:
                         if heap and heap[0] < fifo[0]:
                             entry = heappop(heap)
@@ -164,22 +172,22 @@ class Engine:
                         entry = heappop(heap)
                     else:
                         break
-                    ev = entry[3]
-                    if ev.cancelled:
+                    action = entry[3]
+                    if action is None:
                         continue
                     time = entry[0]
                     if time < self._now:
                         raise SimulationError(
                             "event list went backwards in time")
                     self._now = time
-                    ev.action()
+                    action()
                     self.events_executed += 1
                 return
             while heap or fifo:
                 use_fifo = bool(fifo) and (not heap or fifo[0] < heap[0])
                 entry = fifo[0] if use_fifo else heap[0]
-                ev = entry[3]
-                if ev.cancelled:
+                action = entry[3]
+                if action is None:
                     popleft() if use_fifo else heappop(heap)
                     continue
                 time = entry[0]
@@ -190,7 +198,7 @@ class Engine:
                 if time < self._now:
                     raise SimulationError("event list went backwards in time")
                 self._now = time
-                ev.action()
+                action()
                 self.events_executed += 1
                 executed += 1
                 if max_events is not None and executed >= max_events:
@@ -202,9 +210,9 @@ class Engine:
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or ``None`` if the list is empty."""
-        while self._heap and self._heap[0][3].cancelled:
+        while self._heap and self._heap[0][3] is None:
             heapq.heappop(self._heap)
-        while self._fifo and self._fifo[0][3].cancelled:
+        while self._fifo and self._fifo[0][3] is None:
             self._fifo.popleft()
         heads = [q[0][0] for q in (self._heap, self._fifo) if q]
         return min(heads) if heads else None
@@ -215,8 +223,8 @@ class Engine:
 
         An observability gauge: cancelled entries are lazily discarded
         by ``run``/``peek``, so subtract them rather than scanning."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled) \
-            + sum(1 for entry in self._fifo if not entry[3].cancelled)
+        return sum(1 for entry in self._heap if entry[3] is not None) \
+            + sum(1 for entry in self._fifo if entry[3] is not None)
 
     def metronome(self, period: float, action: Callable[[], None],
                   priority: int = PRIORITY_LATE) -> None:
@@ -229,19 +237,21 @@ class Engine:
         would tick forever, and two metronomes gating only on "is the
         heap non-empty" would keep each other alive. Ticks run at
         ``PRIORITY_LATE`` by default so samplers observe the state
-        *after* the normal events of their timestamp.
+        *after* the normal events of their timestamp. Passive entries
+        are marked with a fifth ``True`` element (list compares stop at
+        the unique seq, so mixed lengths never matter).
         """
         if period <= 0:
             raise SimulationError(f"metronome period must be > 0: {period}")
 
         def has_active_pending() -> bool:
-            return any(not entry[3].cancelled and not entry[3].passive
+            return any(entry[3] is not None and len(entry) == 4
                        for queue in (self._heap, self._fifo)
                        for entry in queue)
 
         def tick() -> None:
             action()
             if has_active_pending():
-                self.schedule(period, tick, priority).passive = True
+                self.schedule(period, tick, priority).append(True)
 
-        self.schedule(period, tick, priority).passive = True
+        self.schedule(period, tick, priority).append(True)

@@ -21,7 +21,7 @@ from repro.verify.replay import ReplayScenario, build_runtime
 GOLDEN_SCENARIO = dict(program_seed=145, cluster_seed=1,
                        plan_seed=533, failures=2)
 GOLDEN_DIGEST = (
-    "992c9041ad9b2e069992ceaefcdf4aadbdc8f9ed356039f1a23d226a56e21bd3")
+    "dac3777b73e1ff694bf50e4dda068e8aaf4528cc480816fda6ac9008de522790")
 
 
 def _record(scenario=None):

@@ -62,7 +62,7 @@ def test_cancelled_event_does_not_fire():
     engine = Engine()
     fired = []
     handle = engine.schedule(1.0, lambda: fired.append(1))
-    handle.cancel()
+    engine.cancel(handle)
     engine.run()
     assert fired == []
 
@@ -101,7 +101,7 @@ def test_peek_returns_next_event_time():
     handle = engine.schedule(5.0, lambda: None)
     engine.schedule(8.0, lambda: None)
     assert engine.peek() == 5.0
-    handle.cancel()
+    engine.cancel(handle)
     assert engine.peek() == 8.0
 
 
