@@ -161,7 +161,9 @@ def _cmd_report(args) -> int:
         from repro.verify.replay import ReplayScenario, build_runtime
         scenario = ReplayScenario(
             program_seed=args.program_seed, cluster_seed=args.cluster_seed,
-            plan_seed=args.plan_seed, failures=args.failures)
+            plan_seed=args.plan_seed, failures=args.failures,
+            during_recovery_prob=args.during_recovery_prob,
+            min_gap_us=args.min_gap_us)
         runtime = build_runtime(scenario)
         title = (f"RandomProgram {args.program_seed}/{args.cluster_seed}"
                  + (f", plan {args.plan_seed} x{args.failures} failure(s)"
@@ -275,7 +277,9 @@ def _cmd_replay(args) -> int:
     if args.record:
         scenario = ReplayScenario(
             program_seed=args.program_seed, cluster_seed=args.cluster_seed,
-            plan_seed=args.plan_seed, failures=args.failures)
+            plan_seed=args.plan_seed, failures=args.failures,
+            during_recovery_prob=args.during_recovery_prob,
+            min_gap_us=args.min_gap_us)
         header = record_trace(scenario, args.trace,
                               sim_budget_us=args.sim_budget_us)
         status = header["outcome"]
@@ -405,6 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--cluster-seed", type=int, default=1)
     p_report.add_argument("--plan-seed", type=int, default=None)
     p_report.add_argument("--failures", type=int, default=0)
+    p_report.add_argument("--during-recovery-prob", type=float,
+                          default=0.0,
+                          help="probability each failure after the "
+                               "first strikes during the previous "
+                               "recovery")
+    p_report.add_argument("--min-gap-us", type=float, default=0.0,
+                          help="minimum gap (us) between a completed "
+                               "recovery and the next chained failure")
     p_report.add_argument("--output", default="results/report",
                           metavar="DIR")
     p_report.add_argument("--sample-us", type=float, default=500.0,
@@ -450,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--cluster-seed", type=int, default=1)
     p_rep.add_argument("--plan-seed", type=int, default=None)
     p_rep.add_argument("--failures", type=int, default=0)
+    p_rep.add_argument("--during-recovery-prob", type=float, default=0.0,
+                       help="probability each failure after the first "
+                            "strikes during the previous recovery")
+    p_rep.add_argument("--min-gap-us", type=float, default=0.0,
+                       help="minimum gap (us) between a completed "
+                            "recovery and the next chained failure")
     p_rep.add_argument("--sim-budget-us", type=float, default=1_000_000.0,
                        help="per-run simulated-time budget; a run that "
                             "exhausts it with unfinished threads is "

@@ -47,19 +47,28 @@ class FailureInjector:
 
     def kill_on_hook(self, node_id: int, hook_name: str,
                      occurrence: int = 1,
-                     delay: float = 0.0) -> InjectionRecord:
+                     delay: float = 0.0,
+                     any_node: bool = False) -> InjectionRecord:
         """Kill ``node_id`` when it fires ``hook_name`` for the
         ``occurrence``-th time, optionally ``delay`` us later (to land
         *inside* the phase the hook opens rather than at its boundary).
+
+        ``any_node`` counts the hook's firings regardless of which node
+        fired it -- needed for hooks that fire *about* a node rather
+        than *at* one (e.g. killing during recovery by counting
+        RECOVERY_START events, whose node_id is the victim under
+        recovery, not the node to kill).
         """
         record = InjectionRecord(
             node_id,
-            description=f"on {hook_name}#{occurrence} (+{delay}us)")
+            description=(f"on {hook_name}#{occurrence} (+{delay}us)"
+                         + (" any-node" if any_node else "")))
         self.records.append(record)
         seen = {"count": 0}
 
         def on_hook(fired_node: int, **info) -> None:
-            if fired_node != node_id or record.fired_at is not None:
+            if (not any_node and fired_node != node_id) \
+                    or record.fired_at is not None:
                 return
             seen["count"] += 1
             if seen["count"] != occurrence:

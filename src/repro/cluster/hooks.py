@@ -49,6 +49,8 @@ class Hooks:
     HOME_REMAP = "home_remap"                      # home map epoch change
     RECOVERY_RECONCILE = "recovery_reconcile"      # roll-forward/back chosen
     CHECKPOINT_STORED = "checkpoint_stored"        # backup stored a record
+    REREPLICATE_START = "rereplicate_start"        # step-8 push begins
+    REREPLICATE_DONE = "rereplicate_done"          # full protection restored
 
     def __init__(self) -> None:
         self._subs: DefaultDict[str, List[HookFn]] = defaultdict(list)

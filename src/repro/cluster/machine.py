@@ -30,6 +30,12 @@ class Cluster:
         self.address_space = AddressSpace(
             config.shared_pages, config.memory.page_size, config.num_nodes)
         self.nodes: List[Node] = []
+        #: Ground-truth death observers (``fn(node_id)``), invoked the
+        #: moment a node fail-stops. The recovery coordinator registers
+        #: here so a death *during* an active recovery is absorbed into
+        #: the in-progress rendezvous instead of silently stalling the
+        #: quiescence count.
+        self.on_node_failed: List = []
         for node_id in range(config.num_nodes):
             node = Node(self.engine, node_id, config)
             self.network.attach(node.nic)
@@ -46,6 +52,8 @@ class Cluster:
     def fail_node(self, node_id: int) -> None:
         """Fail-stop a node immediately (at the current simulated time)."""
         self.node(node_id).fail()
+        for callback in list(self.on_node_failed):
+            callback(node_id)
 
     def run(self, until=None) -> None:
         self.engine.run(until=until)

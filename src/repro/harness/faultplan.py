@@ -35,7 +35,16 @@ class FailureSpec:
 
     Exactly one of ``at_time`` / ``hook`` must be set. ``chained`` means
     the spec is armed only after the previous spec's recovery completes
-    (the paper's multiple-but-not-simultaneous regime).
+    (the paper's multiple-but-not-simultaneous regime); ``min_gap``
+    additionally delays that arming by the given microseconds, bounding
+    how soon after full recovery the next failure may land.
+
+    ``during`` schedules the kill to land *while a previous spec's
+    recovery is still in progress* (the regime the paper does not
+    tolerate, which the extended coordinator does): the spec is armed
+    up front and counts ``hook`` firings from *any* node, so plans use
+    ``hook=Hooks.RECOVERY_START`` with ``occurrence=k`` to strike
+    ``delay`` microseconds into the k-th recovery wave.
     """
 
     victim: int
@@ -44,17 +53,32 @@ class FailureSpec:
     occurrence: int = 1
     delay: float = 0.0
     chained: bool = False
+    during: bool = False
+    min_gap: float = 0.0
 
     def __post_init__(self) -> None:
         if (self.at_time is None) == (self.hook is None):
             raise ConfigError(
                 "FailureSpec needs exactly one of at_time / hook")
+        if self.during and self.hook is None:
+            raise ConfigError(
+                "during-recovery FailureSpec must be hook-based")
+        if self.during and self.chained:
+            raise ConfigError(
+                "FailureSpec cannot be both chained (waits for recovery "
+                "to finish) and during (strikes before it finishes)")
+        if self.min_gap and not self.chained:
+            raise ConfigError(
+                "min_gap only applies to chained FailureSpecs")
 
     def describe(self) -> str:
         where = (f"t={self.at_time}" if self.at_time is not None
                  else f"{self.hook}#{self.occurrence}+{self.delay}us")
         chain = " (chained)" if self.chained else ""
-        return f"kill node {self.victim} at {where}{chain}"
+        if self.chained and self.min_gap:
+            chain = f" (chained, gap {self.min_gap}us)"
+        during = " (during recovery)" if self.during else ""
+        return f"kill node {self.victim} at {where}{chain}{during}"
 
 
 @dataclass
@@ -87,16 +111,29 @@ class FaultPlan:
             else:
                 records.append(injector.kill_on_hook(
                     spec.victim, spec.hook, occurrence=spec.occurrence,
-                    delay=spec.delay))
+                    delay=spec.delay, any_node=spec.during))
 
+        # ``during`` specs arm up front alongside truly-immediate ones:
+        # they wait on recovery-wave hooks themselves, and arming them
+        # from RECOVERY_DONE would be too late by construction.
         for spec in immediate:
             arm(spec)
 
         pending = list(chain)
 
         def on_recovery_done(node_id, **info) -> None:
-            if pending:
-                arm(pending.pop(0))
+            if not info.get("final", True):
+                # Per-victim DONE inside a multi-victim rendezvous:
+                # chained specs wait for the full release.
+                return
+            if not pending:
+                return
+            spec = pending.pop(0)
+            if spec.min_gap > 0.0:
+                runtime.cluster.engine.schedule(
+                    spec.min_gap, lambda: arm(spec))
+            else:
+                arm(spec)
 
         if pending:
             runtime.cluster.hooks.on(Hooks.RECOVERY_DONE,
@@ -115,23 +152,44 @@ class FaultPlan:
                     hooks: Sequence[str] = INTERESTING_HOOKS,
                     max_occurrence: int = 6,
                     max_delay: float = 20.0,
-                    spare: Sequence[int] = ()) -> "FaultPlan":
+                    spare: Sequence[int] = (),
+                    during_recovery_prob: float = 0.0,
+                    min_gap_us: float = 0.0) -> "FaultPlan":
         """A reproducible random plan.
 
         Victims are distinct and exclude ``spare`` nodes; failures
-        after the first are chained so the run stays within the
-        paper's non-simultaneous regime. At least two nodes survive.
+        after the first are chained (armed when the previous recovery
+        fully completes, at least ``min_gap_us`` later) unless
+        ``during_recovery_prob`` turns them into during-recovery
+        strikes that land ``delay`` us into the previous failure's
+        recovery wave. At least two nodes survive.
+
+        Draw-order compatibility: with the new knobs at their defaults
+        this consumes exactly the same RNG draws as it always did, so
+        existing seeded plans are bit-identical; ``during_recovery_prob
+        > 0`` adds one draw per chained spec.
         """
         candidates = [n for n in range(num_nodes) if n not in spare]
         failures = min(failures, len(candidates), num_nodes - 2)
         victims = rng.sample(candidates, failures)
         specs = []
         for index, victim in enumerate(victims):
-            specs.append(FailureSpec(
-                victim=victim,
-                hook=rng.choice(list(hooks)),
-                occurrence=rng.randint(1, max_occurrence),
-                delay=rng.uniform(0.0, max_delay),
-                chained=index > 0,
-            ))
+            hook = rng.choice(list(hooks))
+            occurrence = rng.randint(1, max_occurrence)
+            delay = rng.uniform(0.0, max_delay)
+            during = False
+            if during_recovery_prob > 0.0 and index > 0:
+                during = rng.random() < during_recovery_prob
+            if during:
+                # Strike mid-recovery: count recovery waves from any
+                # node; the index-th wave is the previous spec's.
+                specs.append(FailureSpec(
+                    victim=victim, hook=Hooks.RECOVERY_START,
+                    occurrence=index, delay=delay, during=True))
+            else:
+                specs.append(FailureSpec(
+                    victim=victim, hook=hook, occurrence=occurrence,
+                    delay=delay, chained=index > 0,
+                    min_gap=min_gap_us if index > 0 else 0.0,
+                ))
         return cls(specs)

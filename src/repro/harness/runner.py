@@ -65,6 +65,10 @@ class RunResult:
     thread_clocks: List[ThreadClock] = field(repr=False, default_factory=list)
     recoveries: int = 0
     latency: LatencyBook = field(repr=False, default_factory=LatencyBook)
+    #: Longest single-failure exposure window (us): failure detection to
+    #: the moment every affected page/lock/checkpoint ward is replicated
+    #: on two live nodes again. 0.0 when no failures occurred.
+    exposed_window_us: float = 0.0
 
 
 class SvmRuntime:
@@ -304,6 +308,8 @@ class SvmRuntime:
         per_node = [agent.counters for agent in self.agents]
         recoveries = (self.recovery_manager.recoveries
                       if self.recovery_manager else 0)
+        exposed = (max(self.recovery_manager.exposed_windows, default=0.0)
+                   if self.recovery_manager else 0.0)
         return RunResult(
             elapsed_us=self.engine.now - self._timing_start_us,
             breakdown=Breakdown.merge(clocks),
@@ -313,6 +319,7 @@ class SvmRuntime:
             recoveries=recoveries,
             latency=LatencyBook.merged(
                 agent.latency for agent in self.agents),
+            exposed_window_us=exposed,
         )
 
     # ------------------------------------------------------------------

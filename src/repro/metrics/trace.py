@@ -53,6 +53,8 @@ FULL_EVENTS = DEFAULT_EVENTS + (
     Hooks.DIFF_PHASE1_START,
     Hooks.CHECKPOINT_A_START,
     Hooks.CHECKPOINT_B_START,
+    Hooks.REREPLICATE_START,
+    Hooks.REREPLICATE_DONE,
 )
 
 

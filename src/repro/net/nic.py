@@ -60,12 +60,17 @@ class NIC:
         self.dma_bandwidth = dma_bandwidth
         self.alive = True
         self.network = None  # attached by Network.attach()
-        #: Nodes whose failure has been detected. VMMC unmaps the
-        #: import/export connections to a failed node during
+        #: Nodes whose failure has been detected, each tagged with the
+        #: home-map epoch at which the connection was unmapped. VMMC
+        #: unmaps the import/export connections to a failed node during
         #: reconfiguration, so anything it left on the wire (or already
         #: queued here) is discarded instead of being applied to
-        #: exported memory after recovery has rebuilt it.
-        self.dead_sources: set = set()
+        #: exported memory after recovery has rebuilt it. Membership is
+        #: what the dispatch path tests; the epoch tags let recovery
+        #: audits tie a shunned message to the map generation that
+        #: shunned its sender (a node shunned under a later epoch was a
+        #: mid-recovery cascade victim).
+        self.dead_sources: Dict[int, int] = {}
 
         self.post_queue = Store(engine, capacity=params.post_queue_depth,
                                 name=f"nic{node_id}.post")
@@ -166,15 +171,22 @@ class NIC:
     def abandon_reply(self, req_id: int) -> None:
         self._pending_replies.pop(req_id, None)
 
-    def shun(self, node_id: int) -> None:
+    def shun(self, node_id: int, epoch: int = 0) -> None:
         """Tear down connections from a node declared failed.
 
         Late traffic from a fail-stopped node must never land: a
         deposit it posted just before dying can otherwise arrive
         *after* recovery has rebuilt the target region (observed as a
         dead node's lock-vector slot resurrecting after the recovery
-        clear and wedging every later acquirer)."""
-        self.dead_sources.add(node_id)
+        clear and wedging every later acquirer). ``epoch`` records the
+        home-map generation doing the unmapping; re-shunning an
+        already-dead source keeps the original (earliest) epoch."""
+        self.dead_sources.setdefault(node_id, epoch)
+
+    def shunned_epoch(self, node_id: int) -> Optional[int]:
+        """The map epoch under which ``node_id`` was shunned (None if
+        it never was)."""
+        return self.dead_sources.get(node_id)
 
     # -- failure injection ---------------------------------------------------
 

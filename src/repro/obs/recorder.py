@@ -56,6 +56,7 @@ _CAT = {
     Hooks.FAILURE_DETECTED: "recovery", Hooks.RECOVERY_START: "recovery",
     Hooks.RECOVERY_DONE: "recovery", Hooks.HOME_REMAP: "recovery",
     Hooks.RECOVERY_RECONCILE: "recovery", Hooks.THREAD_RESUMED: "recovery",
+    Hooks.REREPLICATE_START: "recovery", Hooks.REREPLICATE_DONE: "recovery",
 }
 
 
@@ -238,6 +239,12 @@ class FlightRecorder:
             elif name == Hooks.RECOVERY_DONE:
                 end(self.cluster_pid, RECOVERY_LANE, ts,
                     f"recovery (node {node})")
+            elif name == Hooks.REREPLICATE_START:
+                begin(self.cluster_pid, RECOVERY_LANE, ts,
+                      f"re-replicate (node {node})", cat, info)
+            elif name == Hooks.REREPLICATE_DONE:
+                end(self.cluster_pid, RECOVERY_LANE, ts,
+                    f"re-replicate (node {node})")
             elif name == Hooks.HOME_REMAP:
                 instant(self.cluster_pid, RECOVERY_LANE, ts,
                         "home remap", cat, info)

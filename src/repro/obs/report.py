@@ -419,6 +419,11 @@ def render_run_report(title: str, subtitle: str = "", result=None,
             ("checkpoints", _fmt(totals.checkpoints)),
             ("recoveries", str(result.recoveries)),
         ])
+        if result.recoveries:
+            # Worst single-failure window during which some page, lock
+            # or checkpoint ward had only one live copy.
+            tiles.append(("exposed window",
+                          f"{result.exposed_window_us / 1000:.2f} ms"))
     if recorder is not None:
         tiles.append(("trace events", _fmt(len(recorder))))
     if tiles:

@@ -77,7 +77,9 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
         cluster_seed=params["cluster_seed"],
         plan_seed=params["plan_seed"],
         failures=params["failures"],
-        num_nodes=params.get("num_nodes", 4)))
+        num_nodes=params.get("num_nodes", 4),
+        during_recovery_prob=params.get("during_recovery_prob", 0.0),
+        min_gap_us=params.get("min_gap_us", 0.0)))
     checker = None
     if params.get("check"):
         from repro.verify import RecoveryInvariantChecker
@@ -103,6 +105,7 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
     summary = {"status": status, "detail": detail,
                "elapsed_us": result.elapsed_us,
                "recoveries": result.recoveries,
+               "exposed_window_us": result.exposed_window_us,
                "data_checksum": _data_checksum(runtime)}
     if recorder is not None:
         summary["trace_digest"] = recorder.digest()

@@ -107,6 +107,8 @@ def model_check_spec(program_seed: int, cluster_seed: int,
                      plan_seed: int, failures: int, check: bool = False,
                      max_sim_us: float = 200_000.0,
                      num_nodes: int = 4,
+                     during_recovery_prob: float = 0.0,
+                     min_gap_us: float = 0.0,
                      tag: Optional[str] = None) -> RunSpec:
     """One fault-injection model-check case (mirrors the seed sweep)."""
     params = {
@@ -121,9 +123,16 @@ def model_check_spec(program_seed: int, cluster_seed: int,
         # Only non-default so the content-addressed cache keys of every
         # 4-node sweep already on disk stay valid.
         params["num_nodes"] = num_nodes
+    if during_recovery_prob != 0.0:
+        # Same cache-stability rule as num_nodes.
+        params["during_recovery_prob"] = during_recovery_prob
+    if min_gap_us != 0.0:
+        params["min_gap_us"] = min_gap_us
     if tag is None:
         tag = (f"mc/{program_seed}/{cluster_seed}/"
                f"{plan_seed}x{failures}")
         if num_nodes != 4:
             tag += f"/n{num_nodes}"
+        if during_recovery_prob != 0.0:
+            tag += f"/d{during_recovery_prob:g}"
     return RunSpec(kind="model_check", params=params, tag=tag)

@@ -103,6 +103,33 @@ class CheckpointStore:
         if record is not None and record.seq == seq:
             record.ts_blob = ts_blob
             self._completed[ward] = record
+            self._coalesce_mirror(ward, record.interval)
+
+    def _coalesce_mirror(self, ward: int, horizon: int) -> None:
+        """Bound the mirror: fold write notices of intervals below the
+        newest *complete* release into that release's entry.
+
+        Recovery only ever replays the mirror to nodes whose vector
+        timestamp is *behind* an interval; a node whose timestamp
+        already covers ``horizon`` received the notices for every
+        earlier interval with the timestamp itself, so attributing the
+        folded pages to ``horizon`` at worst re-invalidates a page at a
+        lagging node (safe: the next access re-fetches the committed
+        copy). A pending-but-incomplete release always has an interval
+        at or above ``horizon`` and is never folded, so rollback can
+        still drop exactly its own notices. Net effect: between barrier
+        trims the mirror holds at most the horizon entry plus one
+        in-flight interval, instead of growing per release forever."""
+        mirror = self.interval_mirror.get(ward)
+        if not mirror:
+            return
+        stale = [i for i in mirror if i < horizon]
+        if not stale:
+            return
+        folded = set(mirror.get(horizon, ()))
+        for interval in stale:
+            folded.update(mirror.pop(interval))
+        mirror[horizon] = sorted(folded)
 
     # -- reads (recovery, host level) ---------------------------------------
 

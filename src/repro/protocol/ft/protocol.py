@@ -654,7 +654,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         kind = body[0]
         ward = body[1]
         manager = self.runtime.recovery_manager
-        if manager is not None and (ward == manager.active
+        if manager is not None and (ward in manager.victims
                                     or ward in self.homes.failed):
             # A checkpoint record from a node whose failure has been
             # detected: it was in flight at the death. Accepting it now

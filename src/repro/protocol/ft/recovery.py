@@ -19,7 +19,12 @@ describes:
    nodes are also rewound to their phase-1 start so their retries
    re-propagate cleanly against the new homes.
 4. **Re-replication** -- pages and locks that lost one replica get a
-   fresh second replica on the new home.
+   fresh second replica, and wards whose checkpoint backup died get a
+   new backup seeded from their self-mirror. Replacement replicas are
+   *elected* to spread load over all survivors (the ring alone would
+   pile everything the dead node hosted onto its successor);
+   elections are installed as :class:`~repro.protocol.homes.HomeMap`
+   overrides so every node derives the same placement.
 5. **Global state exchange** -- a barrier-equivalent merge of vector
    timestamps (capped at each node's *published* interval) and write
    notices, including the failed node's mirrored interval log, so that
@@ -28,14 +33,30 @@ describes:
    its backup node from their latest complete checkpoints and
    immediately re-checkpointed to the new backup.
 
-A second failure while recovery is in progress raises
-:class:`UnrecoverableFailure` (the paper tolerates multiple failures
-only when the system fully recovers in between).
+**Multiple failures.** Unlike the paper's prose (which only promises
+tolerance of failure sequences with full recovery in between), the
+coordinator survives *arbitrary sequences*: a node dying while a
+recovery is in progress is absorbed into the same rendezvous as an
+additional victim, and victims are recovered wave by wave in detection
+order. Two structural properties make this sound:
+
+* every mutation of protocol state during recovery happens inside an
+  atomic zero-sim-time block; deaths can only land at ``yield`` points,
+  *after* a consistent (and, state-wise, fully re-protected) snapshot
+  was installed, so each wave starts from intact replicas;
+* victims queued together are excluded from the home map *in one
+  batch* before any of them is reconciled, so no wave ever routes a
+  read or a replica to a sibling corpse.
+
+What genuinely cannot be survived -- both replicas of a page or lock
+dying together, or a victim dying together with its checkpoint
+backup -- is detected by an explicit survivability audit, which raises
+:class:`UnrecoverableFailure` with the exact pair that was lost.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.apps.base import AppContext
 from repro.cluster import Hooks
@@ -62,12 +83,36 @@ class RecoveryManager:
         self.engine = runtime.engine
         self.recoveries = 0
         self.last_recovery_us: float = 0.0
+        #: The victim whose wave is currently being processed (the
+        #: whole extended recovery counts as "active" until the final
+        #: rendezvous release).
         self.active: Optional[int] = None
         self.recovered: Set[int] = set()
+        #: Victims of the recovery in progress, in detection order. The
+        #: head started the rendezvous; later entries are cascade
+        #: victims absorbed into it.
+        self._victim_queue: List[int] = []
+        #: node -> sim time its failure was detected; feeds the
+        #: redundancy-exposure metric (detection -> REREPLICATE_DONE).
+        self._detected_at: Dict[int, float] = {}
+        #: Per-victim exposure windows (us), appended as each wave's
+        #: re-replication completes.
+        self.exposed_windows: List[float] = []
         self._parked: Set[int] = set()
         self._blocked: Dict[int, int] = {}
         self._done_event: Optional[Event] = None
         self._quiescent: Optional[Event] = None
+        # Ground-truth death observer: a node dying while a recovery is
+        # already running fires no protocol hook (nobody is
+        # communicating with it at the rendezvous), so without this the
+        # quiescence count -- and the whole run -- would silently
+        # stall waiting for threads that can never park.
+        runtime.cluster.on_node_failed.append(self._on_node_died)
+
+    @property
+    def victims(self) -> Set[int]:
+        """Victims of the in-progress recovery (empty when idle)."""
+        return set(self._victim_queue)
 
     # ------------------------------------------------------------------
     # Quiescence tracking
@@ -84,9 +129,10 @@ class RecoveryManager:
         self._check_quiescent()
 
     def _required_parkers(self) -> List[int]:
+        # Threads on dead nodes (the original victim and any cascade
+        # victims alike) cannot park; everyone else must.
         return [rec.tid for rec in self.runtime.threads
                 if not rec.finished
-                and rec.current_node != self.active
                 and self.runtime.cluster.node(rec.current_node).alive]
 
     def _check_quiescent(self) -> None:
@@ -104,18 +150,21 @@ class RecoveryManager:
     # ------------------------------------------------------------------
 
     def report_failure(self, failed: int) -> None:
-        if failed in self.recovered and self.active is None:
+        if failed in self.recovered:
             return  # stale signal about an already-recovered node
         if self.active is not None:
-            if failed != self.active:
-                raise UnrecoverableFailure(
-                    f"node {failed} failed while recovery of node "
-                    f"{self.active} is still in progress")
+            # A failure while recovery is in progress: absorb it into
+            # the running rendezvous as an additional victim instead of
+            # giving up (the paper's untolerated case; see module
+            # docstring for why the extension is sound).
+            self._note_additional_victim(failed)
             return
         if self.runtime.cluster.node(failed).alive:
             raise RecoveryError(
                 f"false failure suspicion of live node {failed}")
         self.active = failed
+        self._victim_queue = [failed]
+        self._detected_at[failed] = self.engine.now
         self._done_event = Event(self.engine, "recovery.done")
         self._quiescent = Event(self.engine, "recovery.quiescent")
         self._parked.clear()
@@ -127,14 +176,39 @@ class RecoveryManager:
             # wire, and applying one after recovery rebuilds the target
             # region would resurrect dead state (e.g. a lock-vector
             # slot that every later acquirer spins on forever).
-            agent.node.nic.shun(failed)
+            agent.node.nic.shun(failed, epoch=self.runtime.homes.epoch)
             agent.abort_local_waits()
         for manager in self.runtime.barrier_managers:
             manager.abort_pending()
         self.runtime.cluster.hooks.fire(
             Hooks.FAILURE_DETECTED, failed, time=self.engine.now)
-        self.engine.spawn(self._coordinate(failed), "recovery.coord")
+        self.engine.spawn(self._coordinate(), "recovery.coord")
         self._check_quiescent()
+
+    def _note_additional_victim(self, failed: int) -> None:
+        """Queue a node that died while recovery was already running."""
+        if failed in self.recovered or failed in self._victim_queue:
+            return
+        if self.runtime.cluster.node(failed).alive:
+            raise RecoveryError(
+                f"false failure suspicion of live node {failed}")
+        self._victim_queue.append(failed)
+        self._detected_at[failed] = self.engine.now
+        for node_id in self._live_ids():
+            agent = self.runtime.agents[node_id]
+            agent.node.nic.shun(failed, epoch=self.runtime.homes.epoch)
+            agent.abort_local_waits()
+        for manager in self.runtime.barrier_managers:
+            manager.abort_pending()
+        self.runtime.cluster.hooks.fire(
+            Hooks.FAILURE_DETECTED, failed, time=self.engine.now)
+        # The new corpse's threads can no longer be required to park.
+        self._check_quiescent()
+
+    def _on_node_died(self, node_id: int) -> None:
+        if self.active is None:
+            return  # normal operation: detection via communication
+        self._note_additional_victim(node_id)
 
     def park(self, thread):
         """Generator: wait at the recovery rendezvous until recovery
@@ -158,40 +232,145 @@ class RecoveryManager:
         return [node.node_id for node in self.runtime.cluster.nodes
                 if node.alive]
 
-    def _check_no_second_failure(self, failed: int) -> None:
-        """A node dying while recovery is running (before redundancy is
-        restored) is the paper's explicitly-untolerated case."""
-        for node in self.runtime.cluster.nodes:
-            if node.node_id == failed:
-                continue
-            if node.node_id in self.runtime.homes.failed:
-                continue  # recovered in an earlier epoch
-            if not node.alive:
-                raise UnrecoverableFailure(
-                    f"node {node.node_id} failed during recovery of "
-                    f"node {failed}")
+    def _audit_survivable(self, pre_batch, batch: List[int]) -> None:
+        """Raise unless every page, lock and ward still has one live
+        copy after the whole ``batch`` dies together.
 
-    def _coordinate(self, failed: int):
+        ``pre_batch`` is the home map before any batch member was
+        excluded, i.e. the placement whose replicas actually hold the
+        state. Near-simultaneous deaths of a full replica pair (or of a
+        victim together with its checkpoint backup) are the genuinely
+        unrecoverable cases; everything else the wave loop handles."""
+        dead = set(batch)
+        runtime = self.runtime
+        for page in sorted(runtime.cluster.address_space.home_hint):
+            if pre_batch.primary_home(page) in dead \
+                    and pre_batch.secondary_home(page) in dead:
+                raise UnrecoverableFailure(
+                    f"page {page} lost both replicas: nodes "
+                    f"{pre_batch.primary_home(page)} and "
+                    f"{pre_batch.secondary_home(page)} failed together")
+        for lock_id in range(runtime.config.num_locks):
+            if pre_batch.lock_primary(lock_id) in dead \
+                    and pre_batch.lock_secondary(lock_id) in dead:
+                raise UnrecoverableFailure(
+                    f"lock {lock_id} lost both replicas: nodes "
+                    f"{pre_batch.lock_primary(lock_id)} and "
+                    f"{pre_batch.lock_secondary(lock_id)} failed together")
+        for victim in batch:
+            if pre_batch.backup_node(victim) in dead:
+                raise UnrecoverableFailure(
+                    f"node {victim} failed together with its checkpoint "
+                    f"backup {pre_batch.backup_node(victim)}: saved "
+                    f"thread states lost")
+
+    def _coordinate(self):
         runtime = self.runtime
         yield self._quiescent
         t_start = self.engine.now
-        runtime.cluster.hooks.fire(Hooks.RECOVERY_START, failed)
-        self._check_no_second_failure(failed)
+        #: tid -> (rec, used_seq, backup_id, ward, max_seq). Keyed so a
+        #: thread resumed onto a node that then dies itself is simply
+        #: re-resumed by the later wave (latest entry wins).
+        resumed: Dict[int, tuple] = {}
+        pre_maps: Dict[int, object] = {}
+        processed: List[int] = []
+        while len(processed) < len(self._victim_queue):
+            victim = self._victim_queue[len(processed)]
+            self.active = victim
+            runtime.cluster.hooks.fire(Hooks.RECOVERY_START, victim)
+            # Exclude every queued-but-unexcluded victim in one batch
+            # (snapshotting the map each saw at exclusion) before
+            # reconciling any of them: a near-simultaneous pair must
+            # never have one victim's reconciliation route a read or a
+            # fresh replica to the other's corpse.
+            batch = [v for v in self._victim_queue if v not in pre_maps]
+            if batch:
+                pre_batch = runtime.homes.copy()
+                self._audit_survivable(pre_batch, batch)
+                for v in batch:
+                    pre_maps[v] = runtime.homes.copy()
+                    runtime.homes.exclude(v)
+                    runtime.cluster.hooks.fire(
+                        Hooks.HOME_REMAP, v, epoch=runtime.homes.epoch,
+                        failed_set=sorted(runtime.homes.failed))
+            # Overrides installed by this wave must also land in the
+            # snapshots of batch siblings still awaiting their wave,
+            # or their "old" maps would mis-locate the moved replicas.
+            successor_maps = [pre_maps[v]
+                              for v in self._victim_queue[len(processed) + 1:]
+                              if v in pre_maps]
+            yield from self._recover_one(victim, pre_maps[victim],
+                                         successor_maps, resumed)
+            processed.append(victim)
+            self.recoveries += 1
+            if len(processed) < len(self._victim_queue):
+                # Intermediate victim: protection is restored, but the
+                # rendezvous stays held for the next victim's wave.
+                runtime.cluster.hooks.fire(
+                    Hooks.RECOVERY_DONE, victim,
+                    duration_us=self.engine.now - t_start, final=False)
+
+        # -- release the rendezvous ----------------------------------------
+        last = processed[-1]
+        for node_id in self._live_ids():
+            runtime.agents[node_id].recovery_pending = None
+        self.recovered.update(processed)
+        self._victim_queue = []
+        self.active = None
+        self.last_recovery_us = self.engine.now - t_start
+        for rec, used_seq, backup_id, ward, max_seq in resumed.values():
+            runtime.spawn_thread(rec)
+            runtime.cluster.hooks.fire(Hooks.THREAD_RESUMED, backup_id,
+                                       tid=rec.tid, ward=ward,
+                                       seq=used_seq,
+                                       max_valid_seq=max_seq)
+        done, self._done_event = self._done_event, None
+        self._quiescent = None
+        done.succeed(None)
+        runtime.cluster.hooks.fire(Hooks.RECOVERY_DONE, last,
+                                   duration_us=self.last_recovery_us,
+                                   final=True)
+        return None
+
+    # ------------------------------------------------------------------
+    # One victim's wave
+    # ------------------------------------------------------------------
+
+    def _spread_pick(self, load: Dict[int, int],
+                     exclude: int) -> int:
+        """Least-loaded live node other than ``exclude`` (ties break on
+        node id, keeping the election deterministic everywhere)."""
+        candidates = [i for i in load if i != exclude]
+        if not candidates:
+            raise UnrecoverableFailure(
+                "no surviving node available for a replacement replica")
+        return min(candidates, key=lambda i: (load[i], i))
+
+    def _recover_one(self, failed: int, old_map, successor_maps,
+                     resumed: Dict[int, tuple]):
+        """Steps 3-8 for one victim.
+
+        ``old_map`` is the home map as of the instant ``failed`` was
+        excluded; it locates the replicas that actually hold state.
+        Everything between two ``yield`` points is atomic in simulated
+        time, so a death during this wave (it can only land inside a
+        ``Delay``) always finds consistent, re-protected replicas.
+        """
+        runtime = self.runtime
+        homes = runtime.homes
         costs = runtime.config.costs
         net = runtime.config.network
         mem = runtime.config.memory
         page_size = mem.page_size
-        cost_us = 0.0
+        reconcile_cost = 0.0
+        rereplicate_cost = 0.0
 
-        old_map = runtime.homes.copy()
-        runtime.homes.exclude(failed)
-        homes = runtime.homes
-        runtime.cluster.hooks.fire(
-            Hooks.HOME_REMAP, failed, epoch=homes.epoch,
-            failed_set=sorted(homes.failed))
         live = self._live_ids()
         agents = {i: runtime.agents[i] for i in live}
-        backup_id = homes.backup_node(failed)
+        # The victim's checkpoints live where the *old* map shipped
+        # them (an election may have moved the backup off the ring; the
+        # post-exclusion ring walk would mis-locate it).
+        backup_id = old_map.backup_node(failed)
         store = agents[backup_id].ckpt_store
 
         page_copy_us = mem.copy_time_us(page_size)
@@ -206,7 +385,7 @@ class RecoveryManager:
                 if fl.stage <= STAGE_POINT_B:
                     for peer in agents.values():
                         touched = peer.apply_undo(node_id, fl.seq)
-                        cost_us += len(touched) * page_copy_us
+                        reconcile_cost += len(touched) * page_copy_us
                     # Re-enter phase 1 on resume; a release still in its
                     # prep stage keeps it (its diffs are not computed yet).
                     if fl.stage == STAGE_POINT_B:
@@ -219,7 +398,7 @@ class RecoveryManager:
             # Roll back: cancel partial tentative updates everywhere.
             for agent in agents.values():
                 touched = agent.apply_undo(failed, pending.seq)
-                cost_us += len(touched) * page_copy_us
+                reconcile_cost += len(touched) * page_copy_us
             if pending.pages:
                 rolled_back_interval = pending.interval
                 store.interval_mirror.get(failed, {}).pop(
@@ -230,7 +409,8 @@ class RecoveryManager:
             # the release (and causally later ones) had long finished:
             # at quiescence the two copies are identical except for the
             # failed node's incompletely-applied updates. Only when the
-            # *secondary* home died with the node (tentative lost) do we
+            # *secondary* home died with the node (tentative lost --
+            # either it WAS the victim, or it was a batch sibling) do we
             # fall back to the saved diffs -- safe there, because any
             # causally later writer would still be gated on the failed
             # node's unapplied committed-copy version and cannot have
@@ -239,13 +419,14 @@ class RecoveryManager:
             for page in pending.pages:
                 old_secondary = old_map.secondary_home(page)
                 new_primary = homes.primary_home(page)
-                if old_secondary != failed:
+                if old_secondary != failed \
+                        and old_secondary not in homes.failed:
                     agents[new_primary].committed.write_page(
                         page,
                         agents[old_secondary].tentative.read_page(page))
-                    cost_us += (page_copy_us
-                                if old_secondary == new_primary
-                                else page_xfer_us)
+                    reconcile_cost += (page_copy_us
+                                       if old_secondary == new_primary
+                                       else page_xfer_us)
                 else:
                     # Tentative copy died with the node. Apply the saved
                     # diffs only if the committed copy has not already
@@ -260,7 +441,7 @@ class RecoveryManager:
                         buf = agents[new_primary].committed.page_view(page)
                         for offset, data in diff.runs:
                             buf[offset:offset + len(data)] = data
-                        cost_us += page_copy_us
+                        reconcile_cost += page_copy_us
                 agents[new_primary]._bump_version(page, failed,
                                                   pending.interval)
 
@@ -272,50 +453,132 @@ class RecoveryManager:
             seq=pending.seq if pending is not None else None,
             rolled_back_interval=rolled_back_interval)
 
-        # -- 4. re-replicate pages that lost one home ----------------------
-        for page in sorted(runtime.cluster.address_space.home_hint):
+        # -- 8-elect. choose replacement replica placements -----------------
+        # Everything the victim hosted needs a new second copy. The
+        # ring default would pile all of it onto the victim's
+        # successor; elect targets by least standing load instead
+        # (deterministic: sorted iteration, ties on node id), and
+        # install the choices as map overrides so every node -- and
+        # every batch sibling's pending "old map" snapshot -- agrees.
+        all_pages = sorted(runtime.cluster.address_space.home_hint)
+        moved_pages: List[Tuple[int, int, int]] = []
+        for page in all_pages:
             old_primary = old_map.primary_home(page)
             old_secondary = old_map.secondary_home(page)
-            if failed not in (old_primary, old_secondary):
+            if failed in (old_primary, old_secondary):
+                moved_pages.append((page, old_primary, old_secondary))
+        moving = {entry[0] for entry in moved_pages}
+        page_load = {i: 0 for i in live}
+        for page in all_pages:
+            if page in moving:
                 continue
+            sec = homes.secondary_home(page)
+            if sec in page_load:
+                page_load[sec] += 1
+        for page, _old_p, _old_s in moved_pages:
+            new_primary = homes.primary_home(page)
+            target = self._spread_pick(page_load, new_primary)
+            if target != homes.secondary_home(page):
+                homes.reassign_secondary(page, target)
+                for sibling_map in successor_maps:
+                    sibling_map.reassign_secondary(page, target)
+            page_load[target] += 1
+
+        num_locks = runtime.config.num_locks
+        moved_locks: List[Tuple[int, int, int]] = []
+        for lock_id in range(num_locks):
+            old_p = old_map.lock_primary(lock_id)
+            old_s = old_map.lock_secondary(lock_id)
+            if failed in (old_p, old_s):
+                moved_locks.append((lock_id, old_p, old_s))
+        moving_locks = {entry[0] for entry in moved_locks}
+        lock_load = {i: 0 for i in live}
+        for lock_id in range(num_locks):
+            if lock_id in moving_locks:
+                continue
+            sec = homes.lock_secondary(lock_id)
+            if sec in lock_load:
+                lock_load[sec] += 1
+        for lock_id, _old_p, _old_s in moved_locks:
+            new_p = homes.lock_primary(lock_id)
+            target = self._spread_pick(lock_load, new_p)
+            if target != homes.lock_secondary(lock_id):
+                homes.reassign_lock_secondary(lock_id, target)
+                for sibling_map in successor_maps:
+                    sibling_map.reassign_lock_secondary(lock_id, target)
+            lock_load[target] += 1
+
+        moved_wards = [node_id for node_id in live
+                       if old_map.backup_node(node_id) == failed]
+        backup_load = {i: 0 for i in live}
+        for node_id in live:
+            if node_id in moved_wards:
+                continue
+            backup = homes.backup_node(node_id)
+            if backup in backup_load:
+                backup_load[backup] += 1
+        for ward in moved_wards:
+            target = self._spread_pick(backup_load, ward)
+            if target != homes.backup_node(ward):
+                homes.reassign_backup(ward, target)
+                for sibling_map in successor_maps:
+                    sibling_map.reassign_backup(ward, target)
+            backup_load[target] += 1
+
+        # -- 4. re-replicate pages that lost one home ----------------------
+        for page, old_primary, old_secondary in moved_pages:
             new_primary = homes.primary_home(page)
             new_secondary = homes.secondary_home(page)
             if old_primary == failed:
-                # The survivor's tentative copy is the authoritative
-                # version now; promote it to the committed copy.
+                # The old secondary's tentative copy is the
+                # authoritative version now; promote it to the (new)
+                # primary's committed copy. The ring usually makes that
+                # survivor the new primary itself, but an earlier
+                # election may have placed the replica elsewhere, so
+                # name the source explicitly.
                 agents[new_primary].committed.write_page(
-                    page, agents[new_primary].tentative.read_page(page))
-                cost_us += page_copy_us
+                    page, agents[old_secondary].tentative.read_page(page))
+                rereplicate_cost += (page_copy_us
+                                     if old_secondary == new_primary
+                                     else page_xfer_us)
             # Seed the new secondary from the (new) primary.
             agents[new_secondary].tentative.write_page(
                 page, agents[new_primary].committed.read_page(page))
-            cost_us += (page_xfer_us if new_secondary != new_primary
-                        else page_copy_us)
+            rereplicate_cost += (page_xfer_us
+                                 if new_secondary != new_primary
+                                 else page_copy_us)
 
         # -- 5. lock reconfiguration ------------------------------------------
         n = runtime.config.num_nodes
-        num_locks = runtime.config.num_locks
         for agent in agents.values():
             vec = agent.node.regions.lookup(LOCKVEC_REGION).view()
             # Clear the failed node's slot in every lock vector (this
             # also releases any lock it held at the time of failure).
             vec[failed::n] = bytes(len(range(failed, len(vec), n)))
+
+        def copy_lock_state(src: int, dst: int, lock_id: int) -> None:
+            if src == dst:
+                return
+            src_vec = agents[src].node.regions.lookup(LOCKVEC_REGION)
+            dst_vec = agents[dst].node.regions.lookup(LOCKVEC_REGION)
+            dst_vec.write(lock_id * n, src_vec.read(lock_id * n, n))
+            src_ts = agents[src].node.regions.lookup(LOCKTS_REGION)
+            dst_ts = agents[dst].node.regions.lookup(LOCKTS_REGION)
+            dst_ts.write(lock_id * 4 * n,
+                         src_ts.read(lock_id * 4 * n, 4 * n))
+
         reseeded_locks = 0
-        for lock_id in range(num_locks):
-            old_p = old_map.lock_primary(lock_id)
-            old_s = old_map.lock_secondary(lock_id)
-            if failed not in (old_p, old_s):
-                continue
+        for lock_id, old_p, old_s in moved_locks:
             new_p = homes.lock_primary(lock_id)
             new_s = homes.lock_secondary(lock_id)
-            src_vec = agents[new_p].node.regions.lookup(LOCKVEC_REGION)
-            dst_vec = agents[new_s].node.regions.lookup(LOCKVEC_REGION)
-            dst_vec.write(lock_id * n, src_vec.read(lock_id * n, n))
-            src_ts = agents[new_p].node.regions.lookup(LOCKTS_REGION)
-            dst_ts = agents[new_s].node.regions.lookup(LOCKTS_REGION)
-            dst_ts.write(lock_id * 4 * n, src_ts.read(lock_id * 4 * n, 4 * n))
+            # The surviving copy of the lock state: the old secondary
+            # when the primary died, the old primary otherwise.
+            survivor = old_s if old_p == failed else old_p
+            copy_lock_state(survivor, new_p, lock_id)
+            copy_lock_state(new_p, new_s, lock_id)
             reseeded_locks += 1
-        cost_us += reseeded_locks * (net.wire_latency_us * 0.02 + 0.5)
+        rereplicate_cost += reseeded_locks * (net.wire_latency_us * 0.02
+                                              + 0.5)
 
         # -- 6. global state exchange (barrier-equivalent) ------------------
         completed = store.last_complete_release(failed)
@@ -327,7 +590,8 @@ class RecoveryManager:
             if j in published:
                 merged[j] = published[j]
             else:
-                # A node that failed in an earlier recovery epoch.
+                # A node that failed in an earlier recovery epoch, or a
+                # batch sibling whose own wave will merge its log.
                 merged[j] = max(agent.ts[j] for agent in agents.values())
 
         logs: Dict[int, Dict[int, List[int]]] = {
@@ -351,7 +615,7 @@ class RecoveryManager:
                         invalidations += 1
             agent.ts.merge(merged)
             agent.vmmc.known_dead.add(failed)
-        cost_us += invalidations * costs.invalidate_per_page_us
+        reconcile_cost += invalidations * costs.invalidate_per_page_us
         # Record version claims so fetch gating cannot deadlock on
         # version knowledge that died with the node:
         # * the failed node's published updates are now present at
@@ -375,28 +639,41 @@ class RecoveryManager:
         # release records at the backup. The node itself still holds
         # everything it ever shipped (its self-mirror): copy the full
         # history -- thread-state slots, pending/complete records,
-        # mirrored write notices -- to the new backup now. Carrying only
-        # the live release metadata here is NOT enough: the ward's next
-        # failure would then find no complete record and roll back a
-        # release that long passed point B (the doubled-RMW bug; or a
-        # permanent version wait when a lock timestamp already names the
-        # rolled-back interval). The reseed null release on resume
-        # additionally re-ships *current* thread states.
-        for node_id, agent in agents.items():
-            if old_map.backup_node(node_id) != failed:
-                continue
+        # mirrored write notices -- to the new (elected) backup now.
+        # Carrying only the live release metadata here is NOT enough:
+        # the ward's next failure would then find no complete record and
+        # roll back a release that long passed point B (the doubled-RMW
+        # bug; or a permanent version wait when a lock timestamp already
+        # names the rolled-back interval). The reseed null release on
+        # resume additionally re-ships *current* thread states.
+        for node_id in moved_wards:
+            agent = agents[node_id]
             new_backup_store = agents[
                 homes.backup_node(node_id)].ckpt_store
             carried = new_backup_store.absorb(agent.ckpt_mirror, node_id)
             agent.needs_checkpoint_reseed = True
-            cost_us += (net.wire_latency_us
-                        + net.transfer_time_us(carried))
+            rereplicate_cost += (net.wire_latency_us
+                                 + net.transfer_time_us(carried))
 
-        # Charge the aggregate reconfiguration cost before resuming.
-        yield Delay(cost_us)
+        # Charge reconciliation, then the re-replication push: the
+        # REREPLICATE span brackets the time during which the cluster
+        # is running but one-copy-exposed, which is the metric the
+        # paper's availability argument cares about.
+        yield Delay(reconcile_cost)
+        runtime.cluster.hooks.fire(
+            Hooks.REREPLICATE_START, failed,
+            pages=len(moved_pages), locks=len(moved_locks),
+            wards=len(moved_wards))
+        yield Delay(rereplicate_cost)
+        exposed_us = self.engine.now - self._detected_at.get(
+            failed, self.engine.now)
+        self.exposed_windows.append(exposed_us)
+        runtime.cluster.hooks.fire(
+            Hooks.REREPLICATE_DONE, failed,
+            duration_us=rereplicate_cost, exposed_us=exposed_us)
 
         # -- 7. resume the failed node's threads on the backup --------------
-        resumed = []
+        wave_resumed = []
         max_seq = store.max_valid_seq(failed)
         for rec in runtime.threads:
             if rec.current_node != failed or rec.finished:
@@ -420,13 +697,14 @@ class RecoveryManager:
                                  state=state)
             rec.current_node = backup_id
             rec.resumptions += 1
-            resumed.append((rec, used_seq))
+            wave_resumed.append(rec)
+            resumed[rec.tid] = (rec, used_seq, backup_id, failed, max_seq)
 
         # Immediately re-checkpoint resumed threads to the new backup so
         # a subsequent failure of the backup node is tolerated too.
         next_backup = homes.backup_node(backup_id)
         ckpt_cost = 0.0
-        for rec, _seq in resumed:
+        for rec in wave_resumed:
             blob = encode_thread_state(rec.ctx.state)
             runtime.agents[next_backup].ckpt_store.store_thread_state(
                 backup_id, rec.tid, 0, blob)
@@ -500,23 +778,4 @@ class RecoveryManager:
         runtime.cluster.hooks.fire(
             Hooks.RECOVERY_RECONCILE, failed, action="barrier-reconcile",
             generations=dict(generations))
-
-        # -- 8. release the rendezvous -----------------------------------------
-        for agent in agents.values():
-            agent.recovery_pending = None
-        self.recovered.add(failed)
-        self.active = None
-        self.recoveries += 1
-        self.last_recovery_us = self.engine.now - t_start
-        for rec, used_seq in resumed:
-            runtime.spawn_thread(rec)
-            runtime.cluster.hooks.fire(Hooks.THREAD_RESUMED, backup_id,
-                                       tid=rec.tid, ward=failed,
-                                       seq=used_seq,
-                                       max_valid_seq=max_seq)
-        done, self._done_event = self._done_event, None
-        self._quiescent = None
-        done.succeed(None)
-        runtime.cluster.hooks.fire(Hooks.RECOVERY_DONE, failed,
-                                   duration_us=self.last_recovery_us)
         return None

@@ -11,6 +11,16 @@ skipping dead nodes -- a pure function of (original hint, failed set),
 so every live node derives the identical new map independently, and the
 two replicas of any page or lock are guaranteed to sit on distinct
 nodes under any sequence of (non-simultaneous) failures (section 4.5.1).
+
+Recovery's re-replication phase may *override* the ring for secondary
+homes and checkpoint backups (:meth:`HomeMap.reassign_secondary` and
+friends): the ring piles every replica the dead node hosted onto its
+successor, while an election can spread that load over all survivors.
+Overrides are part of the deterministic map state -- they are installed
+by the (deterministic) recovery coordinator, bump the epoch like an
+exclusion does, are cloned by :meth:`HomeMap.copy`, and are pruned
+automatically when a later exclusion invalidates them (target died, or
+the ring moved the primary onto the override target).
 """
 
 from __future__ import annotations
@@ -38,8 +48,14 @@ class HomeMap:
         # application allocates segments, and the map sees them live.
         self._page_hint = page_hint
         self._failed: set[int] = set()
-        #: Reconfiguration epoch: bumped on every exclusion, so
-        #: auditors can tell which map generation routed a message.
+        #: Re-replication overrides (page/lock -> secondary, ward ->
+        #: backup). Absent keys fall back to the ring walk.
+        self._secondary_override: Dict[int, int] = {}
+        self._lock_secondary_override: Dict[int, int] = {}
+        self._backup_override: Dict[int, int] = {}
+        #: Reconfiguration epoch: bumped on every exclusion and every
+        #: re-replication override, so auditors can tell which map
+        #: generation routed a message.
         self.epoch = 0
 
     # -- ring walking ---------------------------------------------------------
@@ -68,6 +84,60 @@ class HomeMap:
         if self.live_count() < 2:
             raise UnrecoverableFailure(
                 "fewer than two live nodes remain: replication impossible")
+        self._prune_overrides()
+
+    def _prune_overrides(self) -> None:
+        """Drop overrides the new failed set invalidates: a dead
+        target, or a ring primary that moved onto the override target
+        (the replicas would coincide). Pruned entries fall back to the
+        ring, and the recovery of whichever node broke them re-elects;
+        the lost-replica scan compares against the *pre-exclusion* map
+        copy, so a pruned page still shows up as needing a secondary."""
+        for page in list(self._secondary_override):
+            target = self._secondary_override[page]
+            if target in self._failed or target == self.primary_home(page):
+                del self._secondary_override[page]
+        for lock_id in list(self._lock_secondary_override):
+            target = self._lock_secondary_override[lock_id]
+            if target in self._failed \
+                    or target == self.lock_primary(lock_id):
+                del self._lock_secondary_override[lock_id]
+        for ward in list(self._backup_override):
+            if ward in self._failed \
+                    or self._backup_override[ward] in self._failed:
+                del self._backup_override[ward]
+
+    # -- re-replication overrides ---------------------------------------------
+
+    def _check_reassign(self, kind: str, target: int,
+                        primary: int) -> None:
+        if not 0 <= target < self.num_nodes:
+            raise ProtocolError(f"no node {target}")
+        if target in self._failed:
+            raise ProtocolError(
+                f"cannot place {kind} replica on dead node {target}")
+        if target == primary:
+            raise ProtocolError(
+                f"{kind} replica must not share node {primary} with "
+                f"its primary")
+
+    def reassign_secondary(self, page_id: int, target: int) -> None:
+        """Elect ``target`` as ``page_id``'s secondary home."""
+        self._check_reassign("page", target, self.primary_home(page_id))
+        self._secondary_override[page_id] = target
+        self.epoch += 1
+
+    def reassign_lock_secondary(self, lock_id: int, target: int) -> None:
+        """Elect ``target`` as ``lock_id``'s secondary home."""
+        self._check_reassign("lock", target, self.lock_primary(lock_id))
+        self._lock_secondary_override[lock_id] = target
+        self.epoch += 1
+
+    def reassign_backup(self, ward: int, target: int) -> None:
+        """Elect ``target`` as ``ward``'s checkpoint backup."""
+        self._check_reassign("backup", target, ward)
+        self._backup_override[ward] = target
+        self.epoch += 1
 
     # -- pages ----------------------------------------------------------------
 
@@ -82,6 +152,9 @@ class HomeMap:
         return self._next_live(self.page_hint(page_id))
 
     def secondary_home(self, page_id: int) -> int:
+        override = self._secondary_override.get(page_id)
+        if override is not None:
+            return override
         primary = self.primary_home(page_id)
         secondary = self._next_live(primary + 1)
         if secondary == primary:
@@ -111,6 +184,9 @@ class HomeMap:
         return self._next_live(self.lock_hint(lock_id))
 
     def lock_secondary(self, lock_id: int) -> int:
+        override = self._lock_secondary_override.get(lock_id)
+        if override is not None:
+            return override
         primary = self.lock_primary(lock_id)
         secondary = self._next_live(primary + 1)
         if secondary == primary:
@@ -121,7 +197,11 @@ class HomeMap:
     # -- checkpoint backups -----------------------------------------------------
 
     def backup_node(self, node: int) -> int:
-        """Where ``node`` ships its thread checkpoints (next live node)."""
+        """Where ``node`` ships its thread checkpoints (next live node,
+        unless re-replication elected a different backup)."""
+        override = self._backup_override.get(node)
+        if override is not None:
+            return override
         backup = self._next_live(node + 1)
         if backup == node:
             raise UnrecoverableFailure("no distinct backup node available")
@@ -134,5 +214,8 @@ class HomeMap:
     def copy(self) -> "HomeMap":
         clone = HomeMap(self.num_nodes, self._page_hint, self.num_locks)
         clone._failed = set(self._failed)
+        clone._secondary_override = dict(self._secondary_override)
+        clone._lock_secondary_override = dict(self._lock_secondary_override)
+        clone._backup_override = dict(self._backup_override)
         clone.epoch = self.epoch
         return clone

@@ -37,6 +37,12 @@
   ``("__bar__", bid)`` epoch beyond its node's completed count. A
   thread ahead of its node deadlocks the next generation (the
   145/1/612 divergence).
+* **full re-protection** -- at every completed recovery (and at the end
+  of the run) every allocated page and lock must again have two
+  replicas on distinct live nodes, and every live node's checkpoint
+  backup must be a distinct live node holding at least everything the
+  node's self-mirror claims durable. This is the contract that lets
+  the cluster absorb arbitrary failure *sequences*, not just one.
 
 The checker is pure observer: it subscribes to hooks, installs the
 (otherwise inert) per-agent ``write_observer``, and never mutates
@@ -342,6 +348,8 @@ class RecoveryInvariantChecker:
         self._audit_counters()
         if point != "failure":
             self._audit_copies()
+        if point == "recovery":
+            self._audit_reprotection()
 
     def _audit_counters(self) -> None:
         for agent in self.runtime.agents:
@@ -387,6 +395,69 @@ class RecoveryInvariantChecker:
                     f"{homes.secondary_home(page)} differs from the "
                     f"committed copy/oracle")
 
+    def _audit_reprotection(self) -> None:
+        """Full re-protection after recovery (step 8's contract): every
+        allocated page and every lock has its two replicas on distinct
+        live nodes, and every live node's shipped checkpoints are held
+        by a distinct live backup at least as far as the node's own
+        self-mirror claims durable. Audited at every completed recovery
+        and once more at the end of the run, this is what turns
+        "tolerates one failure" into "tolerates failure sequences":
+        each recovery must leave the cluster as protected as it started.
+        """
+        manager = self.runtime.recovery_manager
+        if manager is not None and manager.active is not None:
+            return  # intermediate wave of a multi-victim rendezvous
+        if not self._map_matches_liveness():
+            return
+        homes = self.runtime.homes
+        agents = self.runtime.agents
+        failed = homes.failed
+
+        def live(node: int) -> bool:
+            return (node not in failed
+                    and self.runtime.cluster.node(node).alive)
+
+        for page in homes.allocated_pages():
+            primary = homes.primary_home(page)
+            secondary = homes.secondary_home(page)
+            if primary == secondary or not live(primary) \
+                    or not live(secondary):
+                self._report(
+                    "re-protection",
+                    f"page {page} lacks two distinct live replicas: "
+                    f"primary {primary}, secondary {secondary}, failed "
+                    f"set {sorted(failed)}")
+        for lock_id in range(self.runtime.config.num_locks):
+            primary = homes.lock_primary(lock_id)
+            secondary = homes.lock_secondary(lock_id)
+            if primary == secondary or not live(primary) \
+                    or not live(secondary):
+                self._report(
+                    "re-protection",
+                    f"lock {lock_id} lacks two distinct live replicas: "
+                    f"primary {primary}, secondary {secondary}, failed "
+                    f"set {sorted(failed)}")
+        for agent in agents:
+            node = agent.node_id
+            if not live(node):
+                continue
+            backup = homes.backup_node(node)
+            if backup == node or not live(backup):
+                self._report(
+                    "re-protection",
+                    f"node {node}'s checkpoint backup {backup} is not "
+                    f"a distinct live node")
+                continue
+            held = agents[backup].ckpt_store.max_valid_seq(node)
+            mirrored = agent.ckpt_mirror.max_valid_seq(node)
+            if held < mirrored:
+                self._report(
+                    "re-protection",
+                    f"node {node}'s backup {backup} holds release "
+                    f"records only through seq {held}, the node's "
+                    f"self-mirror claims seq {mirrored} durable")
+
     # ------------------------------------------------------------------
     # End-of-run audit
     # ------------------------------------------------------------------
@@ -417,6 +488,7 @@ class RecoveryInvariantChecker:
                 f"published through point B")
         self._audit_counters()
         self._audit_copies(skip_inflight=False)
+        self._audit_reprotection()
         self._audit_version_coverage()
         self._audit_no_dropped_diffs()
 

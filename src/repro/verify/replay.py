@@ -52,6 +52,13 @@ class ReplayScenario:
     cluster_seed: int
     plan_seed: Optional[int] = None
     failures: int = 0
+    #: Probability that a chained failure strikes *during* the previous
+    #: failure's recovery instead of after it (0.0 keeps the historical
+    #: draw order, so old scenarios replay bit-identically).
+    during_recovery_prob: float = 0.0
+    #: Minimum gap (us) between a completed recovery and the arming of
+    #: the next chained failure.
+    min_gap_us: float = 0.0
     variant: str = "ft"
     lock_algorithm: str = "polling"
     num_nodes: int = 4
@@ -97,7 +104,9 @@ def build_runtime(scenario: ReplayScenario) -> SvmRuntime:
     if scenario.plan_seed is not None and scenario.failures > 0:
         FaultPlan.random_plan(
             random.Random(scenario.plan_seed), scenario.num_nodes,
-            scenario.failures).apply(runtime)
+            scenario.failures,
+            during_recovery_prob=scenario.during_recovery_prob,
+            min_gap_us=scenario.min_gap_us).apply(runtime)
     return runtime
 
 

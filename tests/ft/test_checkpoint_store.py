@@ -82,3 +82,107 @@ def test_forget_ward_drops_thread_states_keeps_mirror():
 
 def test_max_valid_seq_no_records():
     assert CheckpointStore(0).max_valid_seq(9) == 0
+
+
+def test_mirror_coalesces_below_completed_release():
+    """The mirror must stay bounded: once a release completes, write
+    notices of earlier intervals fold into the completed interval's
+    entry instead of accumulating one entry per release forever."""
+    store = CheckpointStore(0)
+    for seq, interval in ((1, 4), (2, 5), (3, 6)):
+        store.store_pending(1, ReleaseRecord(
+            seq=seq, interval=interval, pages=[interval * 10]))
+        store.store_complete(1, seq=seq, ts_blob=b"ts")
+    # Only the newest completed horizon survives, carrying the union.
+    assert store.interval_mirror[1] == {6: [40, 50, 60]}
+
+
+def test_mirror_coalesce_spares_inflight_pending():
+    """A pending-but-incomplete release sits above the completed
+    horizon; its notices must stay separate so rollback can drop
+    exactly them."""
+    store = CheckpointStore(0)
+    store.store_pending(1, ReleaseRecord(seq=1, interval=4, pages=[7]))
+    store.store_complete(1, seq=1, ts_blob=b"ts")
+    store.store_pending(1, ReleaseRecord(seq=2, interval=5, pages=[9]))
+    assert store.interval_mirror[1] == {4: [7], 5: [9]}
+
+
+def test_mirror_stays_bounded_over_many_releases():
+    store = CheckpointStore(0)
+    for seq in range(1, 101):
+        store.store_pending(1, ReleaseRecord(seq=seq, interval=seq,
+                                             pages=[seq]))
+        store.store_complete(1, seq=seq, ts_blob=b"ts")
+    assert len(store.interval_mirror[1]) == 1
+    assert store.interval_mirror[1][100] == list(range(1, 101))
+
+
+def _populated_store(ward: int) -> CheckpointStore:
+    store = CheckpointStore(7)
+    store.store_thread_state(ward, 0, seq=1,
+                             blob=encode_thread_state({"i": 1}))
+    store.store_thread_state(ward, 0, seq=2,
+                             blob=encode_thread_state({"i": 2}))
+    store.store_pending(ward, ReleaseRecord(seq=2, interval=3, pages=[5],
+                                            diffs={5: b"d"}))
+    store.store_complete(ward, seq=2, ts_blob=b"ts")
+    return store
+
+
+def test_absorb_into_non_empty_ward_overwrites_stale_state():
+    """A new backup may already hold *older* state for the same ward
+    (it was the ward's backup once before); absorb must replace it,
+    not merge stale slots in."""
+    source = _populated_store(ward=3)
+    dest = CheckpointStore(0)
+    dest.store_thread_state(3, 0, seq=0, blob=encode_thread_state({"i": 0}))
+    dest.store_pending(3, ReleaseRecord(seq=1, interval=1, pages=[9]))
+    dest.absorb(source, ward=3)
+    assert dest.max_valid_seq(3) == 2
+    assert dest.latest_thread_state(3, 0, max_seq=2) == {"i": 2}
+    assert dest.pending_release(3).seq == 2
+    # Other wards at the destination are untouched.
+    assert dest.latest_thread_state(4, 0) is None
+
+
+def test_absorb_ward_with_only_pending_release():
+    """Absorbing a ward whose newest release never reached point B must
+    carry the incompleteness over: the new backup may not validate
+    states from the rolled-back release."""
+    source = CheckpointStore(7)
+    source.store_thread_state(3, 0, seq=1,
+                              blob=encode_thread_state({"i": 1}))
+    source.store_pending(3, ReleaseRecord(seq=1, interval=2, pages=[5]))
+    dest = CheckpointStore(0)
+    dest.absorb(source, ward=3)
+    assert dest.max_valid_seq(3) == 0
+    assert dest.pending_release(3) is not None
+    assert not dest.pending_release(3).complete
+    assert dest.last_complete_release(3) is None
+
+
+def test_absorb_twice_is_idempotent():
+    """A second recovery can re-absorb the same ward (its new backup
+    died too); the result must equal a single absorb."""
+    source = _populated_store(ward=3)
+    dest = CheckpointStore(0)
+    first = dest.absorb(source, ward=3)
+    second = dest.absorb(source, ward=3)
+    assert first == second
+    assert dest.max_valid_seq(3) == 2
+    assert dest.latest_thread_state(3, 0, max_seq=2) == {"i": 2}
+    assert dest.slot_seqs(3, 0) == source.slot_seqs(3, 0)
+    assert dest.interval_mirror[3] == source.interval_mirror[3]
+
+
+def test_absorb_copies_are_independent():
+    """Absorb must deep-copy records: later mutation at the source (it
+    keeps running) must not alias into the new backup's state."""
+    source = _populated_store(ward=3)
+    dest = CheckpointStore(0)
+    dest.absorb(source, ward=3)
+    source.store_pending(3, ReleaseRecord(seq=3, interval=4, pages=[8]))
+    source.interval_mirror[3][3].append(99)
+    assert dest.pending_release(3).seq == 2
+    assert 99 not in dest.interval_mirror[3][3]

@@ -32,13 +32,34 @@ def test_double_report_same_node_is_idempotent():
     assert runtime.recovery_manager.active == 2
 
 
-def test_report_of_second_node_during_recovery_unrecoverable():
+def test_second_node_during_recovery_absorbed_as_victim():
+    """A death during an active recovery is queued into the same
+    rendezvous (ground-truth observer) instead of being fatal, and a
+    duplicate report of it is idempotent."""
     runtime = make_runtime()
     runtime.cluster.fail_node(2)
     runtime.recovery_manager.report_failure(2)
-    runtime.cluster.fail_node(3)
+    runtime.cluster.fail_node(3)  # observer queues it immediately
+    assert runtime.recovery_manager.victims == {2, 3}
+    runtime.recovery_manager.report_failure(3)  # duplicate: no-op
+    assert runtime.recovery_manager.victims == {2, 3}
+    assert runtime.recovery_manager.active == 2
+
+
+def test_both_replica_homes_dying_together_unrecoverable():
+    """Losing both copies of a page (its primary and secondary home in
+    one batch) is the genuinely unrecoverable case the survivability
+    audit must catch."""
+    runtime = make_runtime()
+    runtime.workload.setup(runtime)
+    page = runtime.homes.allocated_pages()[0]
+    primary = runtime.homes.primary_home(page)
+    secondary = runtime.homes.secondary_home(page)
+    runtime.cluster.fail_node(primary)
+    runtime.recovery_manager.report_failure(primary)
+    runtime.cluster.fail_node(secondary)
     with pytest.raises(UnrecoverableFailure):
-        runtime.recovery_manager.report_failure(3)
+        runtime.engine.run()
 
 
 def test_stale_report_after_recovery_is_noop():

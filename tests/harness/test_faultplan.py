@@ -126,3 +126,90 @@ def test_random_plan_end_to_end():
     plan.apply(runtime)
     result = runtime.run()  # verify() is the oracle
     assert result.recoveries <= 2
+
+
+# -- during-recovery strikes and gaps -----------------------------------------
+
+def test_during_spec_validation():
+    with pytest.raises(ConfigError):  # during requires a hook trigger
+        FailureSpec(victim=1, at_time=5.0, during=True)
+    with pytest.raises(ConfigError):  # during and chained conflict
+        FailureSpec(victim=1, hook=Hooks.RECOVERY_START, during=True,
+                    chained=True)
+    with pytest.raises(ConfigError):  # min_gap needs chained
+        FailureSpec(victim=1, hook=Hooks.LOCK_ACQUIRED, min_gap=5.0)
+    spec = FailureSpec(victim=1, hook=Hooks.RECOVERY_START, during=True)
+    assert "during recovery" in spec.describe()
+    gapped = FailureSpec(victim=1, at_time=5.0, chained=True,
+                         min_gap=25.0)
+    assert "gap 25.0us" in gapped.describe()
+
+
+def test_random_plan_draw_order_stable_at_defaults():
+    """The new knobs must not consume RNG draws at their defaults, or
+    every pinned regression seed re-maps."""
+    base = FaultPlan.random_plan(random.Random(533), num_nodes=4,
+                                 failures=2)
+    extended = FaultPlan.random_plan(random.Random(533), num_nodes=4,
+                                     failures=2, during_recovery_prob=0.0,
+                                     min_gap_us=0.0)
+    assert base.specs == extended.specs
+
+
+def test_random_plan_during_prob_one_strikes_mid_recovery():
+    plan = FaultPlan.random_plan(random.Random(533), num_nodes=4,
+                                 failures=2, during_recovery_prob=1.0)
+    first, second = plan.specs
+    assert not first.during and not first.chained
+    assert second.during and not second.chained
+    assert second.hook == Hooks.RECOVERY_START
+    assert second.occurrence == 1  # the first victim's recovery wave
+
+
+def test_random_plan_min_gap_applies_to_chained_only():
+    plan = FaultPlan.random_plan(random.Random(533), num_nodes=4,
+                                 failures=2, min_gap_us=40.0)
+    first, second = plan.specs
+    assert first.min_gap == 0.0
+    assert second.chained and second.min_gap == 40.0
+
+
+def test_during_recovery_plan_end_to_end():
+    """A second node dying inside the first recovery is absorbed into
+    the same rendezvous and the run still verifies."""
+    runtime = ft_runtime(rounds=16)
+    plan = FaultPlan([
+        FailureSpec(victim=3, hook=Hooks.LOCK_ACQUIRED, occurrence=2,
+                    delay=0.4),
+        FailureSpec(victim=2, hook=Hooks.RECOVERY_START, occurrence=1,
+                    delay=5.0, during=True),
+    ])
+    records = plan.apply(runtime)
+    result = runtime.run()
+    assert all(r.fired_at is not None for r in records)
+    assert sorted(runtime.cluster.live_nodes()) == [0, 1]
+    # Both victims recovered (waves of one rendezvous or two separate
+    # recoveries, depending on timing), and memory verified clean.
+    assert result.recoveries == 2
+
+
+def test_min_gap_delays_chained_arming():
+    runtime = ft_runtime(rounds=16)
+    gap = 200.0
+    plan = FaultPlan([
+        FailureSpec(victim=3, hook=Hooks.LOCK_ACQUIRED, occurrence=2,
+                    delay=0.4),
+        FailureSpec(victim=2, hook=Hooks.LOCK_ACQUIRED, occurrence=1,
+                    delay=0.4, chained=True, min_gap=gap),
+    ])
+    plan.apply(runtime)
+    done_at = {}
+    runtime.cluster.hooks.on(
+        Hooks.RECOVERY_DONE,
+        lambda node_id, **info: done_at.setdefault(
+            node_id, runtime.engine.now))
+    runtime.run()
+    assert 3 in done_at and 2 in done_at
+    # The second kill could not even *arm* until gap us after the
+    # first recovery completed.
+    assert done_at[2] >= done_at[3] + gap

@@ -21,7 +21,7 @@ from repro.verify.replay import ReplayScenario, build_runtime
 GOLDEN_SCENARIO = dict(program_seed=145, cluster_seed=1,
                        plan_seed=533, failures=2)
 GOLDEN_DIGEST = (
-    "dac3777b73e1ff694bf50e4dda068e8aaf4528cc480816fda6ac9008de522790")
+    "df466545735a9889a1c90db7d65be41511c462f2a724182e26c67bf301757901")
 
 
 def _record(scenario=None):

@@ -139,3 +139,81 @@ def test_property_mapping_deterministic_across_replicas(num_nodes,
     for page in hints:
         assert a.primary_home(page) == b.primary_home(page)
         assert a.secondary_home(page) == b.secondary_home(page)
+
+
+# -- re-replication overrides -------------------------------------------------
+
+def test_reassign_secondary_overrides_ring():
+    homes, _ = make_map()
+    assert homes.secondary_home(0) == 1
+    homes.reassign_secondary(0, 5)
+    assert homes.secondary_home(0) == 5
+    assert homes.primary_home(0) == 0  # primary untouched
+
+
+def test_reassign_bumps_epoch():
+    homes, _ = make_map()
+    before = homes.epoch
+    homes.reassign_secondary(0, 5)
+    homes.reassign_lock_secondary(0, 5)
+    homes.reassign_backup(0, 5)
+    assert homes.epoch == before + 3
+
+
+def test_reassign_rejects_dead_or_primary_target():
+    homes, _ = make_map()
+    homes.exclude(7)
+    with pytest.raises(ProtocolError):
+        homes.reassign_secondary(0, 7)  # dead target
+    with pytest.raises(ProtocolError):
+        homes.reassign_secondary(0, homes.primary_home(0))
+    with pytest.raises(ProtocolError):
+        homes.reassign_lock_secondary(0, homes.lock_primary(0))
+    with pytest.raises(ProtocolError):
+        homes.reassign_backup(2, 2)  # backup must differ from ward
+
+
+def test_reassign_backup_overrides_ring():
+    homes, _ = make_map()
+    assert homes.backup_node(0) == 1
+    homes.reassign_backup(0, 4)
+    assert homes.backup_node(0) == 4
+    assert homes.backup_node(1) == 2  # other wards unaffected
+
+
+def test_override_pruned_when_target_dies():
+    homes, _ = make_map()
+    homes.reassign_secondary(0, 5)
+    homes.reassign_lock_secondary(1, 5)
+    homes.reassign_backup(2, 5)
+    homes.exclude(5)
+    # All three fall back to the ring walk on live nodes.
+    assert homes.secondary_home(0) == 1
+    assert homes.lock_secondary(1) == 2
+    assert homes.backup_node(2) == 3
+
+
+def test_override_pruned_when_ring_moves_primary_onto_target():
+    homes, _ = make_map(num_nodes=4, num_pages=8)
+    # Page 0: primary 0, ring secondary 1. Elect 2 as secondary, then
+    # kill 0 and 1: the ring primary walks 0 -> 2, colliding with the
+    # override, which must be dropped (replicas may not coincide).
+    homes.reassign_secondary(0, 2)
+    homes.exclude(0)
+    assert homes.primary_home(0) == 1
+    assert homes.secondary_home(0) == 2  # override still valid
+    homes.exclude(1)
+    assert homes.primary_home(0) == 2
+    assert homes.secondary_home(0) == 3  # pruned; ring fallback
+
+
+def test_copy_clones_overrides_independently():
+    homes, _ = make_map()
+    homes.reassign_secondary(0, 5)
+    homes.reassign_backup(1, 6)
+    clone = homes.copy()
+    assert clone.secondary_home(0) == 5
+    assert clone.backup_node(1) == 6
+    assert clone.epoch == homes.epoch
+    clone.reassign_secondary(0, 3)
+    assert homes.secondary_home(0) == 5  # original untouched

@@ -34,7 +34,7 @@ needs_ccore = pytest.mark.skipif(
 # Must match tests/obs/test_recorder.py -- the committed golden digest
 # for the flagship two-failure scenario.
 GOLDEN_DIGEST = (
-    "dac3777b73e1ff694bf50e4dda068e8aaf4528cc480816fda6ac9008de522790")
+    "df466545735a9889a1c90db7d65be41511c462f2a724182e26c67bf301757901")
 
 
 def _run_snippet(snippet: str, pure: bool, extra_env=None) -> dict:

@@ -29,7 +29,9 @@ import time
 
 def run_case(program_seed: int, cluster_seed: int, plan_seed: int,
              failures: int, check: bool,
-             max_sim_us: float = 200_000.0) -> tuple:
+             max_sim_us: float = 200_000.0,
+             during_recovery_prob: float = 0.0,
+             min_gap_us: float = 0.0) -> tuple:
     """One model-check run; returns (status, detail).
 
     ``max_sim_us`` bounds *simulated* time: a deadlocked run under
@@ -42,7 +44,9 @@ def run_case(program_seed: int, cluster_seed: int, plan_seed: int,
 
     runtime = build_runtime(ReplayScenario(
         program_seed=program_seed, cluster_seed=cluster_seed,
-        plan_seed=plan_seed, failures=failures))
+        plan_seed=plan_seed, failures=failures,
+        during_recovery_prob=during_recovery_prob,
+        min_gap_us=min_gap_us))
     checker = None
     if check:
         from repro.verify import RecoveryInvariantChecker
@@ -55,6 +59,32 @@ def run_case(program_seed: int, cluster_seed: int, plan_seed: int,
     except Exception as exc:  # noqa: BLE001 -- classified, not hidden
         return (type(exc).__name__, str(exc))
     return ("ok", "")
+
+
+def clamp_notes(failure_counts, num_nodes) -> list:
+    """Warnings for failure counts ``FaultPlan.random_plan`` will clamp.
+
+    Returned (not just printed) so they land in the sweep ledger too: a
+    ledger line reading "clean at failures=3" on a 4-node cluster would
+    otherwise overclaim what was actually injected.
+    """
+    cap = num_nodes - 2
+    return [
+        f"note: failures={count} exceeds num_nodes-2={cap}; "
+        f"FaultPlan.random_plan clamps to {cap} (grow --num-nodes to "
+        f"actually inject {count})"
+        for count in failure_counts if count > cap
+    ]
+
+
+def write_ledger(path, header_lines, body_lines) -> None:
+    """Append one sweep record to the ledger file at ``path``."""
+    with open(path, "a") as fh:
+        for line in header_lines:
+            fh.write(f"# {line}\n" if line else "#\n")
+        for line in body_lines:
+            fh.write(line + "\n")
+        fh.write("\n")
 
 
 def main(argv=None) -> int:
@@ -73,6 +103,16 @@ def main(argv=None) -> int:
                         help="cluster size; at least failures+2 nodes "
                              "are needed for a plan to actually "
                              "inject that many failures")
+    parser.add_argument("--during-recovery-prob", type=float, default=0.0,
+                        help="probability that each failure after the "
+                             "first strikes during the previous "
+                             "recovery instead of after it")
+    parser.add_argument("--min-gap", type=float, default=0.0,
+                        help="minimum gap (us) between a completed "
+                             "recovery and the next chained failure")
+    parser.add_argument("--ledger", default=None,
+                        help="append the sweep summary (including "
+                             "clamp warnings) to this ledger file")
     parser.add_argument("--check", action="store_true",
                         help="also attach the recovery invariant "
                              "checker to every run")
@@ -91,24 +131,22 @@ def main(argv=None) -> int:
     from repro.parallel import model_check_spec, resolve_jobs, run_specs
 
     failure_counts = [int(x) for x in args.failures.split(",")]
-    cap = args.num_nodes - 2
-    for count in failure_counts:
-        if count > cap:
-            # FaultPlan.random_plan keeps at least two survivors, so a
-            # plan seed at this count produces the same victims as at
-            # the cap -- run it anyway (the plan *schedule* differs:
-            # the rng consumes the same draws but the count is
-            # clamped), but say so, because "clean at failures=3" on a
-            # 4-node cluster proves nothing beyond failures=2.
-            print(f"note: failures={count} exceeds num_nodes-2={cap}; "
-                  f"FaultPlan.random_plan clamps to {cap} (grow "
-                  f"--num-nodes to actually inject {count})",
-                  flush=True)
+    # FaultPlan.random_plan keeps at least two survivors, so a plan
+    # seed at a too-high count produces the same victims as at the cap
+    # -- run it anyway (the plan *schedule* differs: the rng consumes
+    # the same draws but the count is clamped), but say so (and record
+    # it in the ledger), because "clean at failures=3" on a 4-node
+    # cluster proves nothing beyond failures=2.
+    notes = clamp_notes(failure_counts, args.num_nodes)
+    for note in notes:
+        print(note, flush=True)
     seeds = range(args.plan_start, args.plan_start + args.plan_count)
     specs = [model_check_spec(args.program_seed, args.cluster_seed,
                               plan_seed, failures, check=args.check,
                               max_sim_us=args.max_sim_us,
-                              num_nodes=args.num_nodes)
+                              num_nodes=args.num_nodes,
+                              during_recovery_prob=args.during_recovery_prob,
+                              min_gap_us=args.min_gap)
              for plan_seed in seeds for failures in failure_counts]
     total = len(specs)
     bad = []
@@ -143,19 +181,33 @@ def main(argv=None) -> int:
             break
 
     elapsed = time.time() - start
-    print(f"\nswept {done}/{total} cases in {elapsed:.0f}s "
-          f"(program_seed={args.program_seed}, "
-          f"cluster_seed={args.cluster_seed}, plan seeds "
-          f"{args.plan_start}..{args.plan_start + args.plan_count - 1}, "
-          f"failures={failure_counts}, num_nodes={args.num_nodes})")
+    knobs = ""
+    if args.during_recovery_prob:
+        knobs += f", during_recovery_prob={args.during_recovery_prob:g}"
+    if args.min_gap:
+        knobs += f", min_gap_us={args.min_gap:g}"
+    summary = (f"swept {done}/{total} cases "
+               f"(program_seed={args.program_seed}, "
+               f"cluster_seed={args.cluster_seed}, plan seeds "
+               f"{args.plan_start}..{args.plan_start + args.plan_count - 1}, "
+               f"failures={failure_counts}, "
+               f"num_nodes={args.num_nodes}{knobs})")
+    print(f"\n{summary}  [{elapsed:.0f}s]")
+    body = [summary]
     if bad:
         print(f"{len(bad)} divergent:")
+        body.append(f"{len(bad)} divergent:")
         for plan_seed, failures, status, detail in bad:
-            print(f"  plan_seed={plan_seed} failures={failures}: "
-                  f"{status}")
-        return 1
-    print("all clean")
-    return 0
+            line = (f"  plan_seed={plan_seed} failures={failures}: "
+                    f"{status}")
+            print(line)
+            body.append(line)
+    else:
+        print("all clean")
+        body.append("all clean")
+    if args.ledger:
+        write_ledger(args.ledger, notes, body)
+    return 1 if bad else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,38 @@
+"""Sweep-tool plumbing: clamp warnings and the ledger they land in."""
+
+from tests.tools.sweep_fault_seeds import clamp_notes, write_ledger
+
+
+def test_no_clamp_note_when_counts_fit():
+    assert clamp_notes([1, 2], num_nodes=4) == []
+    assert clamp_notes([3], num_nodes=5) == []
+
+
+def test_clamp_note_for_each_overlarge_count():
+    notes = clamp_notes([2, 3, 4], num_nodes=4)
+    assert len(notes) == 2
+    assert "failures=3" in notes[0] and "clamps to 2" in notes[0]
+    assert "failures=4" in notes[1] and "clamps to 2" in notes[1]
+
+
+def test_ledger_records_clamp_warning_and_summary(tmp_path):
+    ledger = tmp_path / "ledger.txt"
+    notes = clamp_notes([3], num_nodes=4)
+    write_ledger(ledger, notes,
+                 ["swept 10/10 cases (failures=[3], num_nodes=4)",
+                  "all clean"])
+    text = ledger.read_text()
+    # The clamp warning must ride along with the clean-sweep claim so a
+    # later reader cannot misread "clean at failures=3" as a 3-failure
+    # result on a 4-node cluster.
+    assert "# note: failures=3 exceeds num_nodes-2=2" in text
+    assert "all clean" in text
+
+
+def test_ledger_appends_records(tmp_path):
+    ledger = tmp_path / "ledger.txt"
+    write_ledger(ledger, [], ["first sweep", "all clean"])
+    write_ledger(ledger, ["note: clamped"], ["second sweep", "1 divergent:"])
+    text = ledger.read_text()
+    assert text.index("first sweep") < text.index("second sweep")
+    assert "# note: clamped" in text
