@@ -24,8 +24,9 @@ def _run_kv(variant, threads_per_node=1):
 
 def _server_table():
     rows = [f"{'workload':14s} {'base_us':>10s} {'ft_us':>10s} "
-            f"{'overhead':>9s} {'home_frac':>10s} {'lockwait_x':>11s}",
-            "-" * 70]
+            f"{'overhead':>9s} {'home_frac':>10s} "
+            f"{'lw_p50':>7s} {'lw_p99':>7s} {'lw_p999':>8s}",
+            "-" * 79]
     out = {}
     kv_base = _run_kv("base")
     kv_ft = _run_kv("ft")
@@ -35,16 +36,21 @@ def _server_table():
                       run_app(app, "ft", scale="bench"))
     for name, (base, ft) in cases.items():
         overhead = (ft.elapsed_us / base.elapsed_us - 1) * 100
-        b_lock = base.latency.stats(LOCK_WAIT).mean_us
-        f_lock = ft.latency.stats(LOCK_WAIT).mean_us
-        lock_x = f_lock / b_lock if b_lock else float("nan")
+        # Tail view of FT lock waits from the deterministic log2
+        # histograms (the same pipeline the SLO evaluator reads), not
+        # ad-hoc means: the transactional workload's viability question
+        # is about the tail, where two-phase commits queue behind locks.
+        pct = ft.latency.percentiles(LOCK_WAIT)
         rows.append(f"{name:14s} {base.elapsed_us:10.0f} "
                     f"{ft.elapsed_us:10.0f} {overhead:8.1f}% "
                     f"{ft.counters.home_diff_fraction:10.2f} "
-                    f"{lock_x:11.2f}")
+                    f"{pct['p50']:7.0f} {pct['p99']:7.0f} "
+                    f"{pct['p999']:8.0f}")
         out[name] = {"overhead": overhead,
                      "home_frac": ft.counters.home_diff_fraction,
-                     "lock_x": lock_x}
+                     "lock_p50_us": pct["p50"],
+                     "lock_p99_us": pct["p99"],
+                     "lock_p999_us": pct["p999"]}
     return out, "\n".join(rows)
 
 
@@ -62,3 +68,6 @@ def test_server_workload(benchmark):
     assert 0 < kv["overhead"] < 120
     # ...with no owner-computes locality (unlike FFT's 100%).
     assert kv["home_frac"] < data["FFT"]["home_frac"]
+    # The histogram tail is well-formed: quantiles are monotone and the
+    # lock-dominated workload has a real (nonzero) wait distribution.
+    assert 0 < kv["lock_p50_us"] <= kv["lock_p99_us"] <= kv["lock_p999_us"]

@@ -125,16 +125,41 @@ def _cmd_sweep(args) -> int:
                         progress=progress, timeout_s=args.timeout)
     hits = sum(r.cached for r in results)
     failed = [r for r in results if not r.ok]
+    slo_report = None
     if args.report:
-        from repro.obs.report import render_sweep_report
+        import json
+
+        from repro.metrics.latency import ALL_OPS
+        from repro.obs.report import render_sweep_report, sweep_latency_book
         outdir = pathlib.Path(args.report)
         outdir.mkdir(parents=True, exist_ok=True)
+        # Machine-readable merged latency histograms next to the sweep
+        # report: per-op sparse buckets plus the derived percentiles.
+        book = sweep_latency_book(results)
+        merged = {"histograms": book.to_dict(),
+                  "percentiles": {op: book.percentiles(op)
+                                  for op in ALL_OPS
+                                  if book.hist(op).count}}
+        metrics_path = outdir / "metrics.json"
+        metrics_path.write_text(json.dumps(merged, sort_keys=True,
+                                           indent=2) + "\n")
+        print(f"wrote {metrics_path}")
+        if args.slo:
+            from repro.obs import SloSpec, evaluate_slo, format_slo_report
+            from repro.obs.slo import latency_book_registry
+            spec = SloSpec.load(args.slo)
+            slo_report = evaluate_slo(spec, latency_book_registry(book))
+            (outdir / "slo.json").write_text(
+                json.dumps(slo_report, sort_keys=True, indent=2) + "\n")
+            print(f"wrote {outdir / 'slo.json'}")
+            print(format_slo_report(slo_report))
         path = outdir / "sweep.html"
         path.write_text(render_sweep_report(
             f"Sweep report: {len(specs)} cells",
             results,
             subtitle=f"scale={args.scale}, {jobs} worker(s), cache "
-                     f"{'on' if use_cache else 'off'}"))
+                     f"{'on' if use_cache else 'off'}",
+            slo=slo_report))
         print(f"wrote {path}")
     print(f"{len(results) - len(failed)}/{len(results)} ok, "
           f"{hits} served from cache")
@@ -148,15 +173,15 @@ def _cmd_sweep(args) -> int:
         else:
             tail = res.error.strip().splitlines()[-1] if res.error else ""
             print(f"  {res.spec.label:{width}s}  {res.status}: {tail}")
+    if slo_report is not None and not slo_report["ok"]:
+        return 1
     return 1 if failed else 0
 
 
-def _cmd_report(args) -> int:
-    """Run once with full observability attached and write a Perfetto
-    trace plus a self-contained HTML report."""
-    from repro.obs import FlightRecorder, StallWatchdog, TimeSeriesSampler
-    from repro.obs.report import render_run_report
-
+def _build_observed_runtime(args):
+    """Runtime + (title, subtitle) for the observability commands: an
+    application run, or (with ``--program-seed``) a RandomProgram
+    model-check scenario."""
     if args.program_seed is not None:
         from repro.verify.replay import ReplayScenario, build_runtime
         scenario = ReplayScenario(
@@ -178,8 +203,25 @@ def _cmd_report(args) -> int:
         title = f"{args.app} / {args.variant}"
         subtitle = (f"{config.num_nodes} nodes x {args.threads} "
                     f"thread(s), scale={args.scale}")
+    return runtime, title, subtitle
 
+
+def _cmd_report(args) -> int:
+    """Run once with full observability attached and write a Perfetto
+    trace plus a self-contained HTML report."""
+    import json
+
+    from repro.obs import (
+        FlightRecorder,
+        OpTracer,
+        StallWatchdog,
+        TimeSeriesSampler,
+    )
+    from repro.obs.report import render_run_report
+
+    runtime, title, subtitle = _build_observed_runtime(args)
     recorder = FlightRecorder(runtime)
+    tracer = OpTracer(runtime)
     sampler = TimeSeriesSampler(runtime, period_us=args.sample_us)
     watchdog = StallWatchdog(runtime, horizon_us=args.watchdog_us,
                              recorder=recorder)
@@ -194,27 +236,106 @@ def _cmd_report(args) -> int:
     outdir = pathlib.Path(args.output)
     outdir.mkdir(parents=True, exist_ok=True)
     trace_path = outdir / "trace.json"
+    # Causal-trace flow events ride the extra-events parameter so the
+    # flight recorder's own digest (computed without extras) is
+    # untouched; Perfetto draws them as arrows between node processes.
     events = recorder.export(
         trace_path,
-        counters=sampler.to_chrome_counters(recorder.cluster_pid))
+        counters=(sampler.to_chrome_counters(recorder.cluster_pid)
+                  + tracer.flow_events()))
+    metrics_path = outdir / "metrics.json"
+    metrics_path.write_text(json.dumps(tracer.metrics.to_dict(),
+                                       sort_keys=True, indent=2) + "\n")
     html_path = outdir / "report.html"
     html_path.write_text(render_run_report(
         title, subtitle + (f" -- FAILED: {error}" if error else ""),
         result=result, recorder=recorder, sampler=sampler,
-        watchdog=watchdog, trace_file=trace_path.name))
+        watchdog=watchdog, trace_file=trace_path.name, tracer=tracer))
     print(f"wrote {trace_path} ({events} events; open at "
           "ui.perfetto.dev)")
+    print(f"wrote {metrics_path} ({len(tracer)} traced ops)")
     print(f"wrote {html_path}")
     if sampler.times:
         from repro.metrics import timeseries_panel
         times, rates = sampler.rates()
         print()
         print(timeseries_panel("protocol activity (events/ms)",
-                               times, rates))
+                               times, rates, unit="/ms"))
     if error:
         print(f"run failed: {error}")
         if watchdog.dumps:
             print(watchdog.dumps[-1])
+        return 1
+    return 0
+
+
+def _cmd_trace_op(args) -> int:
+    """Run with causal tracing on; print the worst-N operations of
+    each class as causal trees with per-hop timing."""
+    from repro.obs import OpTracer
+
+    runtime, title, subtitle = _build_observed_runtime(args)
+    tracer = OpTracer(runtime)
+    runtime.run(max_sim_us=args.max_sim_us)
+    print(f"{title} -- {subtitle}")
+    print(f"{len(tracer)} traced operations")
+    classes = ([args.op_class] if args.op_class else
+               sorted({tracer.op(i).op_class for i in tracer.op_ids()}))
+    for op_class in classes:
+        hist = tracer.metrics.histograms.get(
+            f"optrace.{op_class}.latency_us")
+        if hist is not None and hist.count:
+            p = hist.percentiles()
+            print(f"\n== {op_class}: n={hist.count} "
+                  f"p50={p['p50']:.0f}us p99={p['p99']:.0f}us "
+                  f"p999={p['p999']:.0f}us ==")
+        else:
+            print(f"\n== {op_class} ==")
+        for op_id in tracer.worst(args.worst, op_class):
+            print(tracer.render(op_id))
+    return 0
+
+
+def _cmd_slo(args) -> int:
+    """Run with causal tracing on and evaluate an SLO spec; non-zero
+    exit (with the worst exemplar trace per violated class) on
+    violation."""
+    import json
+
+    from repro.obs import OpTracer, SloSpec, evaluate_slo, format_slo_report
+    from repro.obs.slo import default_slo_spec
+
+    runtime, title, subtitle = _build_observed_runtime(args)
+    tracer = OpTracer(runtime)
+    result = runtime.run(max_sim_us=args.max_sim_us)
+    spec = (SloSpec.load(args.spec) if args.spec
+            else default_slo_spec())
+    report = evaluate_slo(spec, tracer.metrics,
+                          elapsed_us=result.elapsed_us,
+                          exposed_window_us=result.exposed_window_us)
+    print(f"{title} -- {subtitle}")
+    print(format_slo_report(report))
+    if args.output:
+        outdir = pathlib.Path(args.output)
+        outdir.mkdir(parents=True, exist_ok=True)
+        slo_path = outdir / "slo.json"
+        slo_path.write_text(json.dumps(report, sort_keys=True,
+                                       indent=2) + "\n")
+        metrics_path = outdir / "metrics.json"
+        metrics_path.write_text(json.dumps(tracer.metrics.to_dict(),
+                                           sort_keys=True, indent=2)
+                                + "\n")
+        print(f"wrote {slo_path}")
+        print(f"wrote {metrics_path}")
+    if not report["ok"]:
+        # Fail loudly: attach the worst exemplar causal tree for every
+        # violated operation class so the p999 attribution is in the log.
+        for op_class in sorted({c["op_class"] for c in report["checks"]
+                                if not c["ok"]}):
+            for op_id in tracer.worst(1, op_class):
+                print()
+                print(f"worst {op_class} exemplar:")
+                print(tracer.render(op_id))
         return 1
     return 0
 
@@ -390,33 +511,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--report", metavar="DIR", default=None,
                          help="also write a sweep-level HTML report "
                               "(orchestrator stats, per-spec timing) "
-                              "into DIR")
+                              "plus merged metrics JSON into DIR")
+    p_sweep.add_argument("--slo", metavar="SPEC", default=None,
+                         help="with --report: evaluate the merged "
+                              "latency histograms against an SLO spec "
+                              "JSON; non-zero exit on violation")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
-    p_report = sub.add_parser(
-        "report", help="run with observability on; write Perfetto "
-                       "trace + HTML report",
-        parents=[profiled])
-    p_report.add_argument("--app", choices=APP_ORDER, default="FFT")
-    p_report.add_argument("--variant", choices=("base", "ft"),
+    # Scenario options shared by the observability commands (report /
+    # trace-op / slo): an application run, or a model-check scenario.
+    observed = argparse.ArgumentParser(add_help=False)
+    observed.add_argument("--app", choices=APP_ORDER, default="FFT")
+    observed.add_argument("--variant", choices=("base", "ft"),
                           default="ft")
-    p_report.add_argument("--threads", type=int, default=1)
-    p_report.add_argument("--scale", default="bench",
+    observed.add_argument("--threads", type=int, default=1)
+    observed.add_argument("--scale", default="bench",
                           choices=("test", "bench", "large"))
-    p_report.add_argument("--program-seed", type=int, default=None,
-                          help="report a RandomProgram model-check "
+    observed.add_argument("--program-seed", type=int, default=None,
+                          help="observe a RandomProgram model-check "
                                "scenario instead of an application")
-    p_report.add_argument("--cluster-seed", type=int, default=1)
-    p_report.add_argument("--plan-seed", type=int, default=None)
-    p_report.add_argument("--failures", type=int, default=0)
-    p_report.add_argument("--during-recovery-prob", type=float,
+    observed.add_argument("--cluster-seed", type=int, default=1)
+    observed.add_argument("--plan-seed", type=int, default=None)
+    observed.add_argument("--failures", type=int, default=0)
+    observed.add_argument("--during-recovery-prob", type=float,
                           default=0.0,
                           help="probability each failure after the "
                                "first strikes during the previous "
                                "recovery")
-    p_report.add_argument("--min-gap-us", type=float, default=0.0,
+    observed.add_argument("--min-gap-us", type=float, default=0.0,
                           help="minimum gap (us) between a completed "
                                "recovery and the next chained failure")
+    observed.add_argument("--max-sim-us", type=float, default=None,
+                          help="cap simulated time (deadlock hunts)")
+
+    p_report = sub.add_parser(
+        "report", help="run with observability on; write Perfetto "
+                       "trace + metrics JSON + HTML report",
+        parents=[profiled, observed])
     p_report.add_argument("--output", default="results/report",
                           metavar="DIR")
     p_report.add_argument("--sample-us", type=float, default=500.0,
@@ -425,9 +556,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--watchdog-us", type=float, default=20_000.0,
                           help="stall watchdog zero-progress horizon "
                                "(simulated us)")
-    p_report.add_argument("--max-sim-us", type=float, default=None,
-                          help="cap simulated time (deadlock hunts)")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace-op", help="print worst-N causal operation trees with "
+                         "per-hop timing",
+        parents=[profiled, observed])
+    p_trace.add_argument("--op-class", default=None,
+                         help="restrict to one operation class "
+                              "(default: all observed classes)")
+    p_trace.add_argument("--worst", type=int, default=3, metavar="N",
+                         help="trees per class, slowest first")
+    p_trace.set_defaults(fn=_cmd_trace_op)
+
+    p_slo = sub.add_parser(
+        "slo", help="evaluate per-operation latency percentiles and "
+                    "availability against an SLO spec",
+        parents=[profiled, observed])
+    p_slo.add_argument("--spec", default=None, metavar="JSON",
+                       help="SLO spec file (default: the built-in "
+                            "generous spec, committed at "
+                            "results/slo_default.json)")
+    p_slo.add_argument("--output", default=None, metavar="DIR",
+                       help="write slo.json + metrics.json into DIR")
+    p_slo.set_defaults(fn=_cmd_slo)
 
     p_prof = sub.add_parser("profile",
                             help="sharing + latency profile of one app",

@@ -36,6 +36,10 @@ class Cluster:
         #: the in-progress rendezvous instead of silently stalling the
         #: quiescence count.
         self.on_node_failed: List = []
+        #: Causal operation tracer (repro.obs.optrace.OpTracer) or None.
+        #: Protocol mint sites read this attribute; with no tracer the
+        #: cost is one attribute load + None test per logical operation.
+        self.optrace = None
         for node_id in range(config.num_nodes):
             node = Node(self.engine, node_id, config)
             self.network.attach(node.nic)

@@ -9,6 +9,7 @@ Public surface::
 from repro.metrics.breakdown import Breakdown, Category, ThreadClock
 from repro.metrics.charts import overhead_bars, stacked_bars, timeseries_panel
 from repro.metrics.counters import NodeCounters, RunCounters
+from repro.metrics.hist import Log2Histogram, MetricsRegistry
 from repro.metrics.latency import LatencyBook, LatencyStats
 from repro.metrics.sharing import PageProfile, SharingProfiler
 from repro.metrics.trace import (
@@ -34,6 +35,8 @@ __all__ = [
     "timeseries_panel",
     "LatencyBook",
     "LatencyStats",
+    "Log2Histogram",
+    "MetricsRegistry",
     "SharingProfiler",
     "PageProfile",
     "FULL_EVENTS",

@@ -74,17 +74,34 @@ def overhead_bars(title: str, overheads: Mapping[str, float],
 SPARKS = " .:-=+*#"
 
 
+def _si(value: float) -> str:
+    """Compact magnitude formatting for gauge peaks: ``871``,
+    ``12.3k``, ``4.56M`` -- never raw ``1.5e+06`` scientific notation
+    and never more than ~5 characters of digits."""
+    if value >= 1e6:
+        return f"{value / 1e6:.3g}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.3g}k"
+    if value >= 100 or float(value).is_integer():
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
 def timeseries_panel(title: str,
                      times_us: Sequence[float],
                      series: Mapping[str, Sequence[float]],
-                     width: int = 64) -> str:
+                     width: int = 64,
+                     unit: str = "") -> str:
     """Render sampled time series as aligned text sparklines.
 
     One row per series (insertion order): the values are bucketed onto
-    ``width`` columns of the shared time axis and drawn with an 8-level
-    density ramp, with the series peak printed at the row end. Consumes
-    the columnar output of
-    :class:`repro.obs.timeseries.TimeSeriesSampler` (``totals()`` /
+    the columns of the shared time axis and drawn with an 8-level
+    density ramp, with the series peak printed at the row end
+    (``unit``-suffixed, SI-compacted so wide counters stay narrow).
+    ``width`` caps the sparkline column count, but every row is also
+    clamped to the current terminal width (``COLUMNS`` honored) so
+    panels never wrap in narrow CI logs. Consumes the columnar output
+    of :class:`repro.obs.timeseries.TimeSeriesSampler` (``totals()`` /
     ``rates()``) but accepts any label -> values mapping.
     """
     if not times_us or not series:
@@ -92,6 +109,12 @@ def timeseries_panel(title: str,
     t_lo, t_hi = times_us[0], times_us[-1]
     span = (t_hi - t_lo) or 1.0
     label_w = max(len(label) for label in series) + 2
+    # Clamp the sparkline to what the terminal can hold: label, two
+    # pipes, the " peak 00.0M<unit>" suffix, one spare column.
+    import shutil
+    columns = shutil.get_terminal_size((80, 24)).columns
+    suffix_w = len(" peak ") + 5 + len(unit)
+    width = max(8, min(width, columns - label_w - suffix_w - 3))
     lines = [title, "=" * len(title)]
     for label, values in series.items():
         values = list(values)[:len(times_us)]
@@ -109,7 +132,8 @@ def timeseries_panel(title: str,
                      int(max(bucket) / peak * (len(SPARKS) - 1)))
             row.append(SPARKS[level])
         lines.append(f"{label:<{label_w}}|{''.join(row)}| "
-                     f"peak {peak:g}")
-    lines.append(f"{'':<{label_w}} {t_lo / 1000:.1f}ms"
-                 f"{'':>{width - 14}}{t_hi / 1000:.1f}ms")
+                     f"peak {_si(peak)}{unit}")
+    axis_lo, axis_hi = f"{t_lo / 1000:.1f}ms", f"{t_hi / 1000:.1f}ms"
+    pad = max(width - len(axis_lo) - len(axis_hi) + 2, 0)
+    lines.append(f"{'':<{label_w}} {axis_lo}{'':>{pad}}{axis_hi}")
     return "\n".join(lines)

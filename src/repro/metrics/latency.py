@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
+from repro.metrics.hist import Log2Histogram
+
 
 @dataclass
 class LatencyStats:
@@ -65,17 +67,55 @@ ALL_OPS = (LOCK_WAIT, PAGE_FAULT, RELEASE, BARRIER_WAIT)
 
 
 class LatencyBook:
-    """Per-node collection of operation latency statistics."""
+    """Per-node collection of operation latency statistics.
+
+    Each sample lands twice: in the streaming :class:`LatencyStats`
+    (mean/max, the paper's section 5.3 lens) and in a deterministic
+    :class:`~repro.metrics.hist.Log2Histogram` (p50/p99/p999, the SLO
+    lens). Histograms merge bit-identically across any worker
+    partition of the sample stream.
+    """
 
     def __init__(self) -> None:
         self._stats: Dict[str, LatencyStats] = {
             op: LatencyStats() for op in ALL_OPS}
+        self._hists: Dict[str, Log2Histogram] = {
+            op: Log2Histogram() for op in ALL_OPS}
 
     def record(self, op: str, value_us: float) -> None:
         self._stats[op].add(value_us)
+        self._hists[op].record(value_us)
 
     def stats(self, op: str) -> LatencyStats:
         return self._stats[op]
+
+    def hist(self, op: str) -> Log2Histogram:
+        return self._hists[op]
+
+    def percentiles(self, op: str) -> Dict[str, float]:
+        """p50/p99/p999 upper bounds (us) for one operation class."""
+        return self._hists[op].percentiles()
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-portable form (histograms only -- the stats
+        are derivable views for tables, the histograms are the
+        mergeable ground truth shipped in run summaries)."""
+        return {op: self._hists[op].to_dict() for op in ALL_OPS
+                if self._hists[op].count}
+
+    @classmethod
+    def from_dict(cls, data) -> "LatencyBook":
+        out = cls()
+        for op, hist in (data or {}).items():
+            restored = Log2Histogram.from_dict(hist)
+            out._hists[op] = restored
+            # Rebuild the coarse stats view so .stats(op).mean_us keeps
+            # working on restored books (min/max/stdev are lost; the
+            # histogram is the authoritative record).
+            stats = out._stats.setdefault(op, LatencyStats())
+            stats.count = restored.count
+            stats.total_us = restored.total_us
+        return out
 
     @classmethod
     def merged(cls, books: Iterable["LatencyBook"]) -> "LatencyBook":
@@ -83,6 +123,7 @@ class LatencyBook:
         for book in books:
             for op in ALL_OPS:
                 out._stats[op].merge(book._stats[op])
+                out._hists[op].merge(book._hists[op])
         return out
 
     def table(self) -> str:

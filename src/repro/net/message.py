@@ -42,12 +42,13 @@ class Message:
     """
 
     __slots__ = ("kind", "src", "dst", "body_bytes", "payload",
-                 "completion", "msg_id", "wire_bytes")
+                 "completion", "msg_id", "wire_bytes", "op")
 
     def __init__(self, kind: str, src: int, dst: int, body_bytes: int,
                  payload: Any = None,
                  completion: Optional[Any] = None,
-                 msg_id: Optional[int] = None) -> None:
+                 msg_id: Optional[int] = None,
+                 op: Optional[int] = None) -> None:
         self.kind = kind
         self.src = src
         self.dst = dst
@@ -61,6 +62,11 @@ class Message:
         self.completion = completion
         self.msg_id = _next_message_id() if msg_id is None else msg_id
         self.wire_bytes = HEADER_BYTES + body_bytes
+        #: Causal-trace operation id (repro.obs.optrace). None on every
+        #: untraced message; the NIC copies it onto replies so one
+        #: logical operation's messages share an id across nodes. Rides
+        #: inside the modelled 32-byte header -- no wire-size change.
+        self.op = op
 
     def __repr__(self) -> str:  # compact, for traces
         return (f"<msg#{self.msg_id} {self.kind} {self.src}->{self.dst} "

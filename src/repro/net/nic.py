@@ -60,6 +60,11 @@ class NIC:
         self.dma_bandwidth = dma_bandwidth
         self.alive = True
         self.network = None  # attached by Network.attach()
+        #: Causal-trace sink (repro.obs.optrace.OpTracer) or None. Every
+        #: tracing touch point is double-gated on ``msg.op is not None``
+        #: -- always None with no tracer attached -- so the untraced
+        #: receive path pays one comparison.
+        self.optrace = None
         #: Nodes whose failure has been detected, each tagged with the
         #: home-map epoch at which the connection was unmapped. VMMC
         #: unmaps the import/export connections to a failed node during
@@ -300,6 +305,9 @@ class NIC:
             if msg.completion is not None and not msg.completion.settled:
                 msg.completion.fail(RemoteNodeFailure(msg.src))
             return None
+        if msg.op is not None and self.optrace is not None:
+            self.optrace.message_hop("recv", msg, self.node_id,
+                                     self.engine.now)
         kind = msg.kind
         if kind is _DEPOSIT:
             region_name, offset, data = msg.payload
@@ -314,7 +322,11 @@ class NIC:
             region_name, offset, size, req_id = msg.payload
             data = self.regions.lookup(region_name).read(offset, size)
             reply = Message(MessageKind.FETCH_REPLY, self.node_id, msg.src,
-                            body_bytes=len(data), payload=(req_id, data))
+                            body_bytes=len(data), payload=(req_id, data),
+                            op=msg.op)
+            if reply.op is not None and self.optrace is not None:
+                self.optrace.message_hop("send", reply, self.node_id,
+                                         self.engine.now)
             if self.post_queue.try_put(reply):
                 return None
             return self._post_blocking(reply)
@@ -344,7 +356,8 @@ class NIC:
                 raise NetworkError(
                     f"node {self.node_id}: unknown service {service!r}")
             proc = self.engine.spawn(
-                self._serve(handler, msg.src, req_id, body),
+                self._serve(handler, msg.src, req_id, body,
+                            service, msg.op, msg.msg_id),
                 f"nic{self.node_id}.svc.{service}")
             self._service_procs.append(proc)
             self._service_procs = [p for p in self._service_procs if p.alive]
@@ -378,14 +391,31 @@ class NIC:
 
     def _finish_notify(self, gen, msg: Message):
         yield from gen
+        if msg.op is not None and self.optrace is not None:
+            # Generator NOTIFY handlers are the diff-apply path: the
+            # span from the "recv" hop to here is the apply cost.
+            self.optrace.message_hop("applied", msg, self.node_id,
+                                     self.engine.now)
         if msg.completion is not None and not msg.completion.settled:
             msg.completion.succeed(None)
 
-    def _serve(self, handler, src: int, req_id: int, body):
+    def _serve(self, handler, src: int, req_id: int, body,
+               service: str = "?", op: Optional[int] = None,
+               req_msg_id: Optional[int] = None):
+        tracer = self.optrace if op is not None else None
+        if tracer is not None:
+            tracer.service_hop(op, "svc_begin", self.node_id,
+                               self.engine.now, req_msg_id, service)
         reply_payload, reply_bytes = yield from handler(body, src)
+        if tracer is not None:
+            tracer.service_hop(op, "svc_end", self.node_id,
+                               self.engine.now, req_msg_id, service)
         if not self.alive:
             return
         reply = Message(MessageKind.SERVICE_REPLY, self.node_id, src,
                         body_bytes=reply_bytes,
-                        payload=(req_id, reply_payload))
+                        payload=(req_id, reply_payload), op=op)
+        if tracer is not None and self.optrace is not None:
+            self.optrace.message_hop("send", reply, self.node_id,
+                                     self.engine.now)
         yield self.post_queue.put(reply)

@@ -47,10 +47,21 @@ class VMMC:
         if dst in self.known_dead:
             raise RemoteNodeFailure(dst, "previously detected")
 
+    def _trace_send(self, msg: Message) -> None:
+        """Record a causal-trace send hop for a stamped message.
+
+        Callers gate on ``msg.op is not None`` so the untraced hot path
+        pays one slot load + comparison and nothing else.
+        """
+        tracer = self.nic.optrace
+        if tracer is not None:
+            tracer.message_hop("send", msg, self.node_id, self.engine.now)
+
     # -- data movement -----------------------------------------------------
 
     def remote_deposit(self, dst: int, region: str, offset: int,
-                       data: bytes, wait: bool = False):
+                       data: bytes, wait: bool = False,
+                       op: Optional[int] = None):
         """Deposit ``data`` at ``region[offset]`` on node ``dst``.
 
         Generator. With ``wait=False`` (the common case -- GeNIMA sends
@@ -67,7 +78,9 @@ class VMMC:
         msg = Message(MessageKind.DEPOSIT, self.node_id, dst,
                       body_bytes=len(data),
                       payload=(region, offset, bytes(data)),
-                      completion=completion)
+                      completion=completion, op=op)
+        if op is not None:
+            self._trace_send(msg)
         nic = self.nic
         yield nic.post_charge()
         park = nic.post_enqueue(msg)
@@ -77,7 +90,8 @@ class VMMC:
             yield from self._await_response(dst, completion)
         return None
 
-    def remote_fetch(self, dst: int, region: str, offset: int, size: int):
+    def remote_fetch(self, dst: int, region: str, offset: int, size: int,
+                     op: Optional[int] = None):
         """Fetch ``size`` bytes from ``region[offset]`` on node ``dst``.
 
         Generator returning the bytes. Raises :class:`RemoteNodeFailure`
@@ -89,7 +103,9 @@ class VMMC:
         msg = Message(MessageKind.FETCH_REQ, self.node_id, dst,
                       body_bytes=self.nic.params.control_message_bytes,
                       payload=(region, offset, size, req_id),
-                      completion=reply)
+                      completion=reply, op=op)
+        if op is not None:
+            self._trace_send(msg)
         nic = self.nic
         yield nic.post_charge()
         park = nic.post_enqueue(msg)
@@ -102,7 +118,8 @@ class VMMC:
         return data
 
     def notify(self, dst: int, channel: str, body: object,
-               body_bytes: Optional[int] = None, wait: bool = False):
+               body_bytes: Optional[int] = None, wait: bool = False,
+               op: Optional[int] = None):
         """Send a small control message to a NIC-level handler on ``dst``."""
         self._check_peer(dst)
         completion: Optional[Event] = None
@@ -112,7 +129,9 @@ class VMMC:
                 else self.nic.params.control_message_bytes)
         msg = Message(MessageKind.NOTIFY, self.node_id, dst,
                       body_bytes=size, payload=(channel, body),
-                      completion=completion)
+                      completion=completion, op=op)
+        if op is not None:
+            self._trace_send(msg)
         nic = self.nic
         yield nic.post_charge()
         park = nic.post_enqueue(msg)
@@ -123,7 +142,8 @@ class VMMC:
         return None
 
     def call(self, dst: int, service: str, body: object,
-             request_bytes: Optional[int] = None):
+             request_bytes: Optional[int] = None,
+             op: Optional[int] = None):
         """Synchronous request/reply against a registered remote service.
 
         Generator returning the reply payload. Heart-beat failure
@@ -136,7 +156,9 @@ class VMMC:
                 else self.nic.params.control_message_bytes)
         msg = Message(MessageKind.SERVICE_REQ, self.node_id, dst,
                       body_bytes=size, payload=(service, req_id, body),
-                      completion=reply)
+                      completion=reply, op=op)
+        if op is not None:
+            self._trace_send(msg)
         nic = self.nic
         yield nic.post_charge()
         park = nic.post_enqueue(msg)

@@ -24,14 +24,20 @@ The exported trace is Chrome/Perfetto JSON (open it at
 https://ui.perfetto.dev); timestamps are simulated microseconds.
 """
 
+from repro.obs.optrace import OpTracer
 from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SloSpec, evaluate_slo, format_slo_report
 from repro.obs.timeseries import TimeSeriesSampler
 from repro.obs.watchdog import StallWatchdog, build_waitfor, format_waitfor
 
 __all__ = [
     "FlightRecorder",
+    "OpTracer",
+    "SloSpec",
     "TimeSeriesSampler",
     "StallWatchdog",
     "build_waitfor",
+    "evaluate_slo",
+    "format_slo_report",
     "format_waitfor",
 ]

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Dict
 
 #: obs-code invocations since the last :func:`reset`, by component.
-CALLS: Dict[str, int] = {"recorder": 0, "sampler": 0, "watchdog": 0}
+CALLS: Dict[str, int] = {"recorder": 0, "sampler": 0, "watchdog": 0,
+                         "optrace": 0}
 
 
 def bump(component: str) -> None:

@@ -381,6 +381,100 @@ def _page(title: str, subtitle: str, body: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# Operation latency / SLO sections (shared by run and sweep reports)
+# ----------------------------------------------------------------------
+
+def _percentile_table(rows: Sequence[Tuple[str, int, float, float,
+                                           float, float]]) -> str:
+    """``rows``: (name, count, p50, p99, p999, mean) per op class."""
+    cells = "".join(
+        f"<tr><td>{html.escape(name)}</td><td>{count}</td>"
+        f"<td>{_fmt(p50)}</td><td>{_fmt(p99)}</td>"
+        f"<td>{_fmt(p999)}</td><td>{_fmt(mean)}</td></tr>"
+        for name, count, p50, p99, p999, mean in rows)
+    return ("<div class='card'><table><tr><th>operation</th><th>n</th>"
+            "<th>p50 us</th><th>p99 us</th><th>p999 us</th>"
+            f"<th>mean us</th></tr>{cells}</table></div>")
+
+
+def _registry_percentile_rows(metrics) -> List[Tuple[str, int, float,
+                                                     float, float, float]]:
+    """Per-op-class percentile rows from an optrace metrics registry."""
+    rows = []
+    for name in sorted(metrics.histograms):
+        if not (name.startswith("optrace.")
+                and name.endswith(".latency_us")):
+            continue
+        hist = metrics.histograms[name]
+        if not hist.count:
+            continue
+        p = hist.percentiles()
+        rows.append((name[len("optrace."):-len(".latency_us")],
+                     hist.count, p["p50"], p["p99"], p["p999"],
+                     hist.mean_us))
+    return rows
+
+
+def _slo_section(slo: dict) -> List[str]:
+    """Render an SLO evaluation report (repro.obs.slo.evaluate_slo)."""
+    body = [f"<h2>SLO: {html.escape(slo['spec'])} &mdash; "
+            + ("<span style='color:var(--series-3)'>PASS</span>"
+               if slo["ok"]
+               else "<span style='color:var(--series-2)'>FAIL</span>")
+            + "</h2>"]
+    cells = []
+    for check in slo["checks"]:
+        actual = check["actual_us"]
+        cells.append(
+            f"<tr><td>{html.escape(check['op_class'])}</td>"
+            f"<td>{check['quantile']}</td>"
+            f"<td>{_fmt(check['target_us'])}</td>"
+            f"<td>{_fmt(actual) if actual is not None else '(no data)'}"
+            f"</td><td>{check['count']}</td>"
+            f"<td>{'pass' if check['ok'] else '<b>FAIL</b>'}</td></tr>")
+    body.append("<div class='card'><table><tr><th>operation</th>"
+                "<th>q</th><th>target us</th><th>actual us</th>"
+                f"<th>n</th><th>verdict</th></tr>{''.join(cells)}"
+                "</table></div>")
+    avail = slo.get("availability")
+    if avail is not None:
+        body.append(
+            "<p class='sub'>availability "
+            f"{avail['actual'] * 100:.4f}% (floor "
+            f"{avail['min'] * 100:.4f}%; exposed "
+            f"{_fmt(avail['exposed_window_us'])} us of "
+            f"{_fmt(avail['elapsed_us'])} us) &mdash; "
+            f"{'pass' if avail['ok'] else 'FAIL'}</p>")
+    return body
+
+
+def _exemplar_sections(tracer, worst_n: int = 1) -> List[str]:
+    """Worst-N operations per class: a summary table whose rows link
+    to the rendered causal trees below it."""
+    entries = []
+    for op_class in sorted({tracer.op(i).op_class
+                            for i in tracer.op_ids()}):
+        for op_id in tracer.worst(worst_n, op_class):
+            entries.append((op_class, tracer.op(op_id)))
+    if not entries:
+        return []
+    rows = "".join(
+        f"<tr><td><a href='#op-{op.op_id}'>op {op.op_id}</a></td>"
+        f"<td>{html.escape(op_class)}</td><td>{op.node}</td>"
+        f"<td style='text-align:left'>{html.escape(op.label)}</td>"
+        f"<td>{_fmt(op.duration_us)}</td></tr>"
+        for op_class, op in entries)
+    body = ["<h2>Worst operations (causal trees)</h2>",
+            "<div class='card'><table><tr><th>op</th><th>class</th>"
+            "<th>node</th><th>label</th><th>duration us</th></tr>"
+            f"{rows}</table></div>"]
+    for _op_class, op in entries:
+        body.append(f"<pre class='dump' id='op-{op.op_id}'>"
+                    f"{html.escape(tracer.render(op.op_id))}</pre>")
+    return body
+
+
+# ----------------------------------------------------------------------
 # Run report
 # ----------------------------------------------------------------------
 
@@ -403,7 +497,8 @@ def _span_inventory(recorder) -> Dict[str, Dict[str, float]]:
 
 def render_run_report(title: str, subtitle: str = "", result=None,
                       recorder=None, sampler=None, watchdog=None,
-                      trace_file: Optional[str] = None) -> str:
+                      trace_file: Optional[str] = None,
+                      tracer=None, slo: Optional[dict] = None) -> str:
     """Assemble the single-run HTML report; every section is optional
     so partial runs (deadlock caps, failed verification) still render."""
     body = []
@@ -426,8 +521,20 @@ def render_run_report(title: str, subtitle: str = "", result=None,
                           f"{result.exposed_window_us / 1000:.2f} ms"))
     if recorder is not None:
         tiles.append(("trace events", _fmt(len(recorder))))
+    if tracer is not None:
+        tiles.append(("traced ops", _fmt(len(tracer))))
+    if slo is not None:
+        tiles.append(("SLO", "PASS" if slo["ok"] else "FAIL"))
     if tiles:
         body.append(_stat_tiles(tiles))
+
+    if tracer is not None:
+        rows = _registry_percentile_rows(tracer.metrics)
+        if rows:
+            body.append("<h2>Operation latency percentiles</h2>")
+            body.append(_percentile_table(rows))
+    if slo is not None:
+        body.extend(_slo_section(slo))
 
     if sampler is not None and len(sampler) > 1:
         times, rates = sampler.rates()
@@ -473,6 +580,9 @@ def render_run_report(title: str, subtitle: str = "", result=None,
                 "<th>slices</th><th>total us</th><th>mean us</th></tr>"
                 f"{rows}</table></div>")
 
+    if tracer is not None:
+        body.extend(_exemplar_sections(tracer))
+
     if watchdog is not None and watchdog.dumps:
         body.append("<h2>Stall watchdog</h2>")
         for dump in watchdog.dumps:
@@ -498,9 +608,23 @@ def render_run_report(title: str, subtitle: str = "", result=None,
 # Sweep report
 # ----------------------------------------------------------------------
 
-def render_sweep_report(title: str, results, subtitle: str = "") -> str:
+def sweep_latency_book(results):
+    """Merge every ok cell's portable latency histograms into one
+    :class:`~repro.metrics.latency.LatencyBook` (elementwise bucket
+    addition -- associative, so the result is bit-identical regardless
+    of job count or completion order)."""
+    from repro.metrics.latency import LatencyBook
+    books = [LatencyBook.from_dict(r.summary["latency_hist"])
+             for r in results
+             if r.ok and r.summary and r.summary.get("latency_hist")]
+    return LatencyBook.merged(books)
+
+
+def render_sweep_report(title: str, results, subtitle: str = "",
+                        slo: Optional[dict] = None) -> str:
     """Sweep-level report over :class:`repro.parallel.pool.SpecResult`
-    rows: orchestrator stats, per-spec wall time, result table."""
+    rows: orchestrator stats, merged operation-latency percentiles,
+    optional SLO verdict, per-spec wall time, result table."""
     ok = [r for r in results if r.ok]
     cached = [r for r in results if r.cached]
     retried = [r for r in results if r.attempts > 1]
@@ -513,7 +637,25 @@ def render_sweep_report(title: str, results, subtitle: str = "") -> str:
         ("retried", str(len(retried))),
         ("exec wall", f"{sum(r.wall_s for r in executed):.1f} s"),
     ]
+    if slo is not None:
+        tiles.append(("SLO", "PASS" if slo["ok"] else "FAIL"))
     body = [_stat_tiles(tiles)]
+
+    from repro.metrics.latency import ALL_OPS
+    book = sweep_latency_book(results)
+    rows = []
+    for op in ALL_OPS:
+        hist = book.hist(op)
+        if not hist.count:
+            continue
+        p = hist.percentiles()
+        rows.append((op, hist.count, p["p50"], p["p99"], p["p999"],
+                     hist.mean_us))
+    if rows:
+        body.append("<h2>Merged operation latency percentiles</h2>")
+        body.append(_percentile_table(rows))
+    if slo is not None:
+        body.extend(_slo_section(slo))
 
     timed = [r for r in executed if r.wall_s > 0]
     if timed:

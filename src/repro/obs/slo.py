@@ -1,0 +1,183 @@
+"""SLO specs and evaluation over the operation-latency pipeline.
+
+An :class:`SloSpec` names per-operation-class latency targets (p50 /
+p99 / p999, simulated microseconds) plus an optional availability
+floor. Evaluation (:func:`evaluate_slo`) reads the per-class
+:class:`~repro.metrics.hist.Log2Histogram` latency distributions from a
+:class:`~repro.metrics.hist.MetricsRegistry` -- a single run's, or the
+merged registry of a whole sweep -- and produces a machine-readable
+verdict: one check per (class, quantile) target, each with the target,
+the measured value and a pass flag.
+
+Availability follows the paper's redundancy-exposure argument: the
+fraction of the run during which data was *not* one-copy-exposed,
+``1 - exposed_window_us / elapsed_us``. A run with no failures is
+trivially 100% available.
+
+Everything here is deterministic and JSON-round-trippable: specs load
+from / dump to plain JSON (the committed default lives at
+``results/slo_default.json`` and gates CI), and evaluation reports are
+written next to run artifacts by ``repro slo`` / ``repro sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.metrics.hist import MetricsRegistry
+
+#: Quantile keys a spec may target, in report order.
+QUANTILES = ("p50", "p99", "p999")
+
+
+def _hist_name(op_class: str) -> str:
+    return f"optrace.{op_class}.latency_us"
+
+
+class SloSpec:
+    """Latency + availability targets for a cluster configuration."""
+
+    def __init__(self, name: str,
+                 latency_targets_us: Dict[str, Dict[str, float]],
+                 availability_min: Optional[float] = None) -> None:
+        self.name = name
+        #: op class -> {"p50": us, "p99": us, "p999": us} (any subset).
+        self.latency_targets_us = latency_targets_us
+        #: Minimum fraction of the run not one-copy-exposed, or None.
+        self.availability_min = availability_min
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "latency_targets_us": self.latency_targets_us,
+            "availability_min": self.availability_min,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloSpec":
+        return cls(data["name"], data["latency_targets_us"],
+                   data.get("availability_min"))
+
+    @classmethod
+    def load(cls, path) -> "SloSpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def dump(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def default_slo_spec() -> SloSpec:
+    """The committed generous baseline (``results/slo_default.json``).
+
+    Targets sit 8-32x above the percentiles measured on the default
+    4-node model-check scenario and the bench-scale applications, so a
+    pass asserts "no order-of-magnitude regression" rather than a tight
+    budget; CI gates on it.
+    """
+    return SloSpec("default-generous", {
+        "page_fault": {"p50": 1024, "p99": 4096, "p999": 8192},
+        "lock_acquire": {"p50": 4096, "p99": 16384, "p999": 32768},
+        "barrier": {"p50": 16384, "p99": 131072, "p999": 262144},
+        "diff_phase1": {"p99": 8192, "p999": 16384},
+        "diff_phase2": {"p99": 8192, "p999": 16384},
+        "checkpoint_a": {"p99": 4096, "p999": 8192},
+        "checkpoint_b": {"p99": 4096, "p999": 8192},
+        "recovery_wave": {"p999": 262144},
+        "rereplicate": {"p999": 262144},
+    }, availability_min=0.5)
+
+
+def latency_book_registry(book) -> MetricsRegistry:
+    """Adapt a :class:`~repro.metrics.latency.LatencyBook` (e.g. the
+    merged histograms of a sweep) to the registry naming
+    :func:`evaluate_slo` expects, so sweep-level SLO specs can target
+    the book's op categories (``page_fault``, ``lock_wait``,
+    ``release``, ``barrier_wait``)."""
+    from repro.metrics.latency import ALL_OPS
+    registry = MetricsRegistry()
+    for op in ALL_OPS:
+        hist = book.hist(op)
+        if hist.count:
+            registry.histograms[_hist_name(op)] = hist
+    return registry
+
+
+def evaluate_slo(spec: SloSpec, metrics: MetricsRegistry,
+                 elapsed_us: Optional[float] = None,
+                 exposed_window_us: float = 0.0) -> dict:
+    """Evaluate ``spec`` against measured latency distributions.
+
+    Returns a JSON-able report::
+
+        {"spec": ..., "ok": bool,
+         "checks": [{"op_class", "quantile", "target_us",
+                     "actual_us", "count", "ok"}, ...],
+         "availability": {"min", "actual", "exposed_window_us",
+                          "elapsed_us", "ok"} | None}
+
+    A class with no recorded operations passes vacuously (``actual_us``
+    is None, ``count`` 0) -- a spec may cover operation classes a
+    particular workload never exercises.
+    """
+    checks = []
+    ok = True
+    for op_class in sorted(spec.latency_targets_us):
+        targets = spec.latency_targets_us[op_class]
+        hist = metrics.histograms.get(_hist_name(op_class))
+        quantiles = (hist.percentiles() if hist is not None
+                     and hist.count else {})
+        for quantile in QUANTILES:
+            if quantile not in targets:
+                continue
+            target = float(targets[quantile])
+            actual = quantiles.get(quantile)
+            passed = actual is None or actual <= target
+            ok = ok and passed
+            checks.append({
+                "op_class": op_class, "quantile": quantile,
+                "target_us": target, "actual_us": actual,
+                "count": hist.count if hist is not None else 0,
+                "ok": passed,
+            })
+    availability = None
+    if spec.availability_min is not None and elapsed_us:
+        actual = 1.0 - exposed_window_us / elapsed_us
+        passed = actual >= spec.availability_min
+        ok = ok and passed
+        availability = {
+            "min": spec.availability_min, "actual": actual,
+            "exposed_window_us": exposed_window_us,
+            "elapsed_us": elapsed_us, "ok": passed,
+        }
+    return {"spec": spec.name, "ok": ok, "checks": checks,
+            "availability": availability}
+
+
+def format_slo_report(report: dict) -> str:
+    """Fixed-width text rendering of an evaluation report."""
+    lines = [f"SLO spec: {report['spec']}   "
+             f"verdict: {'PASS' if report['ok'] else 'FAIL'}"]
+    lines.append(f"  {'op class':<16} {'q':>5} {'target':>12} "
+                 f"{'actual':>12} {'n':>7}  ok")
+    for check in report["checks"]:
+        actual = check["actual_us"]
+        lines.append(
+            f"  {check['op_class']:<16} {check['quantile']:>5} "
+            f"{check['target_us']:>10.0f}us "
+            + (f"{actual:>10.0f}us " if actual is not None
+               else f"{'(no data)':>12} ")
+            + f"{check['count']:>7}  "
+            + ("pass" if check["ok"] else "FAIL"))
+    avail = report.get("availability")
+    if avail is not None:
+        lines.append(
+            f"  availability: {avail['actual'] * 100:.4f}% "
+            f"(min {avail['min'] * 100:.4f}%, exposed "
+            f"{avail['exposed_window_us']:.0f}us of "
+            f"{avail['elapsed_us']:.0f}us)  "
+            + ("pass" if avail["ok"] else "FAIL"))
+    return "\n".join(lines)

@@ -91,6 +91,11 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
         # on worker placement or job count.
         from repro.obs import FlightRecorder
         recorder = FlightRecorder(runtime)
+    tracer = None
+    if params.get("optrace_digest"):
+        # Same determinism contract for causal operation traces.
+        from repro.obs.optrace import OpTracer
+        tracer = OpTracer(runtime)
     status, detail = "ok", ""
     try:
         result = runtime.run(max_sim_us=params.get("max_sim_us"))
@@ -109,6 +114,8 @@ def _run_model_check(params: Dict[str, Any]) -> Dict[str, Any]:
                "data_checksum": _data_checksum(runtime)}
     if recorder is not None:
         summary["trace_digest"] = recorder.digest()
+    if tracer is not None:
+        summary["optrace_digest"] = tracer.digest()
     return summary
 
 

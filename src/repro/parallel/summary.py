@@ -91,8 +91,18 @@ class RunSummary:
             "four_component": result.breakdown.four_component(),
             "six_component": result.breakdown.six_component(),
             "data_checksum": data_checksum,
+            "latency_hist": result.latency.to_dict(),
         }
         return cls(data)
+
+    @property
+    def latency(self):
+        """The run's :class:`~repro.metrics.latency.LatencyBook`,
+        restored from the portable histogram serialization (merge-safe:
+        workers ship sparse bucket dicts, the orchestrator rebuilds and
+        merges them bit-identically regardless of job count)."""
+        from repro.metrics.latency import LatencyBook
+        return LatencyBook.from_dict(self._data.get("latency_hist", {}))
 
     def fingerprint(self) -> str:
         """Order-insensitive digest for bit-identity assertions."""

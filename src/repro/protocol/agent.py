@@ -164,38 +164,43 @@ class SvmNodeAgent:
     # ------------------------------------------------------------------
 
     def deposit(self, dst: int, region: str, offset: int, data: bytes,
-                wait: bool = False):
+                wait: bool = False, op: Optional[int] = None):
         if dst == self.node_id:
             yield from self.node.mem_copy(len(data))
             self.node.regions.lookup(region).write(offset, data)
             return None
         return (yield from self.vmmc.remote_deposit(
-            dst, region, offset, data, wait=wait))
+            dst, region, offset, data, wait=wait, op=op))
 
-    def fetch(self, dst: int, region: str, offset: int, size: int):
+    def fetch(self, dst: int, region: str, offset: int, size: int,
+              op: Optional[int] = None):
         if dst == self.node_id:
             yield from self.node.mem_copy(size)
             return self.node.regions.lookup(region).read(offset, size)
-        return (yield from self.vmmc.remote_fetch(dst, region, offset, size))
+        return (yield from self.vmmc.remote_fetch(
+            dst, region, offset, size, op=op))
 
     def call_service(self, dst: int, name: str, body,
-                     request_bytes: Optional[int] = None):
+                     request_bytes: Optional[int] = None,
+                     op: Optional[int] = None):
         if dst == self.node_id:
             handler = self._services[name]
             payload, _size = yield from handler(body, self.node_id)
             return payload
-        return (yield from self.vmmc.call(dst, name, body, request_bytes))
+        return (yield from self.vmmc.call(dst, name, body, request_bytes,
+                                          op=op))
 
     def notify(self, dst: int, channel: str, body,
-               body_bytes: Optional[int] = None, wait: bool = False):
+               body_bytes: Optional[int] = None, wait: bool = False,
+               op: Optional[int] = None):
         if dst == self.node_id:
             handler = self._notify_handlers[channel]
-            result = handler(_LocalMessage(self.node_id, channel, body))
+            result = handler(_LocalMessage(self.node_id, channel, body, op))
             if result is not None and hasattr(result, "send"):
                 yield from result
             return None
         return (yield from self.vmmc.notify(
-            dst, channel, body, body_bytes=body_bytes, wait=wait))
+            dst, channel, body, body_bytes=body_bytes, wait=wait, op=op))
 
     def register_service(self, name: str, handler) -> None:
         self._services[name] = handler
@@ -363,6 +368,8 @@ class SvmNodeAgent:
         fault_start = self.engine.now
         mtx = self._fault_mutex(page)
         fault_observed = False
+        tracer = self.cluster.optrace
+        fault_op = None
         try:
             yield from self.blocked_wait(mtx.acquire())
             try:
@@ -383,12 +390,16 @@ class SvmNodeAgent:
                 self.hooks.fire(Hooks.PAGE_FAULT, self.node_id, page=page,
                                 write=write, tid=thread.thread_id)
                 fault_observed = True
+                if tracer is not None:
+                    fault_op = tracer.mint(
+                        "page_fault", self.node_id,
+                        f"fault page {page} ({'write' if write else 'read'})")
                 yield Delay(self.costs.page_fault_handler_us)
                 # FT: faults on pages locked by an outstanding release
                 # stall until the release completes (paper Fig 4).
                 yield from self._wait_page_unlocked(page)
                 if entry.access is Access.INVALID:
-                    yield from self._load_page(thread, page)
+                    yield from self._load_page(thread, page, op=fault_op)
                 if write:
                     yield from self._make_writable(thread, page)
             finally:
@@ -401,6 +412,8 @@ class SvmNodeAgent:
                 self.hooks.fire(Hooks.PAGE_FAULT_DONE, self.node_id,
                                 page=page, write=write,
                                 tid=thread.thread_id)
+            if fault_op is not None:
+                tracer.finish(fault_op)
             self.latency.record(PAGE_FAULT, self.engine.now - fault_start)
             thread.clock.pop(Category.DATA_WAIT)
 
@@ -421,7 +434,7 @@ class SvmNodeAgent:
             if ev is not None and not ev.settled:
                 ev.succeed(None)
 
-    def _load_page(self, thread, page: int):
+    def _load_page(self, thread, page: int, op: Optional[int] = None):
         """Bring an INVALID page up to date (base protocol)."""
         home = self.homes.primary_home(page)
         if home == self.node_id:
@@ -438,7 +451,7 @@ class SvmNodeAgent:
         required = dict(self.required_versions.get(page, {}))
         self.counters.remote_page_fetches += 1
         data = yield from self.call_service(
-            home, FETCH_PAGE_SERVICE, (page, required))
+            home, FETCH_PAGE_SERVICE, (page, required), op=op)
         yield from self.node.mem_copy(self.page_size)
         self._install_fetched(page, data)
 
@@ -605,7 +618,8 @@ class SvmNodeAgent:
                         interval=self.interval_no, pages=pages)
         return pages
 
-    def _propagate_updates(self, thread, pages: List[int], interval: int):
+    def _propagate_updates(self, thread, pages: List[int], interval: int,
+                           op: Optional[int] = None):
         """Send diffs of the committed pages to their homes (base: one
         home, no diffs for our own home pages)."""
         for page in pages:
@@ -616,11 +630,12 @@ class SvmNodeAgent:
                 continue
             yield from thread.clock.in_category(
                 Category.DIFF, self._diff_and_send(page, entry, home,
-                                                   interval))
+                                                   interval, op=op))
             self._finish_page_release(page)
         return None
 
-    def _diff_and_send(self, page: int, entry, home: int, interval: int):
+    def _diff_and_send(self, page: int, entry, home: int, interval: int,
+                       op: Optional[int] = None):
         yield Delay(self.costs.diff_compute_us(self.page_size))
         if entry.twin is not None:
             twin, regions = entry.twin, entry.dirty_regions
@@ -646,7 +661,7 @@ class SvmNodeAgent:
         # while the wire cost model still charges the serialized size.
         yield from self.notify(home, DIFF_CHANNEL,
                                (self.node_id, interval, diff),
-                               body_bytes=diff.wire_bytes)
+                               body_bytes=diff.wire_bytes, op=op)
         return diff
 
     def _finish_page_release(self, page: int) -> None:
@@ -671,10 +686,20 @@ class SvmNodeAgent:
         yield Delay(self.costs.acquire_base_us)
         self.hooks.fire(Hooks.ACQUIRE_START, self.node_id, lock=lock_id,
                         tid=thread.thread_id)
-        grant_ts = yield from self.locks.acquire(lock_id)
-        self.counters.acquires += 1
-        yield from thread.clock.in_category(
-            Category.PROTOCOL, self._apply_incoming_ts(grant_ts))
+        tracer = self.cluster.optrace
+        acq_op = None
+        if tracer is not None:
+            acq_op = tracer.mint("lock_acquire", self.node_id,
+                                 f"lock {lock_id} acquire")
+        try:
+            grant_ts = yield from self.locks.acquire(lock_id, op=acq_op)
+            self.counters.acquires += 1
+            yield from thread.clock.in_category(
+                Category.PROTOCOL,
+                self._apply_incoming_ts(grant_ts, op=acq_op))
+        finally:
+            if acq_op is not None:
+                tracer.finish(acq_op)
         self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id,
                         tid=thread.thread_id)
         return None
@@ -697,7 +722,8 @@ class SvmNodeAgent:
                         tid=thread.thread_id)
         return None
 
-    def _apply_incoming_ts(self, grant_ts: Optional[VectorTimestamp]):
+    def _apply_incoming_ts(self, grant_ts: Optional[VectorTimestamp],
+                           op: Optional[int] = None):
         """Fetch and apply the write notices implied by a grant."""
         if grant_ts is None:
             return None
@@ -707,7 +733,7 @@ class SvmNodeAgent:
                 continue
             source = self.runtime.interval_source(node)
             entries = yield from self.call_service(
-                source, GET_INTERVALS_SERVICE, (node, first, last))
+                source, GET_INTERVALS_SERVICE, (node, first, last), op=op)
             yield from self._apply_write_notices(node, entries)
         self.ts.merge(grant_ts)
         return None
@@ -781,8 +807,17 @@ class SvmNodeAgent:
             else:
                 state["leader"] = True
                 self.counters.barriers += 1
-                yield from self._internode_barrier(thread, barrier_id,
-                                                   state)
+                tracer = self.cluster.optrace
+                bar_op = None
+                if tracer is not None:
+                    bar_op = tracer.mint("barrier", self.node_id,
+                                         f"barrier {barrier_id}")
+                try:
+                    yield from self._internode_barrier(thread, barrier_id,
+                                                       state, op=bar_op)
+                finally:
+                    if bar_op is not None:
+                        tracer.finish(bar_op)
                 # max(): recovery reconciliation may have advanced the
                 # generation count past this epoch while we were parked.
                 self.barrier_done[barrier_id] = max(
@@ -833,13 +868,14 @@ class SvmNodeAgent:
         state["straggler_event"] = None
         return False
 
-    def _internode_barrier(self, thread, barrier_id: int, state):
+    def _internode_barrier(self, thread, barrier_id: int, state,
+                           op: Optional[int] = None):
         yield from self._gather_local_stragglers(state)
         yield Delay(self.costs.release_base_us)
         pages = yield from thread.clock.in_category(
             Category.PROTOCOL, self._commit_interval(thread))
         interval = self.interval_no
-        yield from self._propagate_updates(thread, pages, interval)
+        yield from self._propagate_updates(thread, pages, interval, op=op)
         # Ship every interval other nodes may not have seen yet.
         own_log = self.interval_log[self.node_id]
         entries = [(i, own_log[i]) for i in sorted(own_log)
@@ -851,7 +887,7 @@ class SvmNodeAgent:
         reply = yield from self.call_service(
             manager, BARRIER_SERVICE,
             (barrier_id, self.node_id, gen_no, self.ts.encode(), entries),
-            request_bytes=body_bytes)
+            request_bytes=body_bytes, op=op)
         if reply[0] == ABORTED:
             raise RecoverySignal()
         self.last_barrier_interval = self.interval_no
@@ -895,8 +931,9 @@ class SvmNodeAgent:
 class _LocalMessage:
     """Shim so local notify delivery matches the NIC message shape."""
 
-    __slots__ = ("src", "payload")
+    __slots__ = ("src", "payload", "op")
 
-    def __init__(self, src: int, channel: str, body) -> None:
+    def __init__(self, src: int, channel: str, body, op=None) -> None:
         self.src = src
         self.payload = (channel, body)
+        self.op = op

@@ -255,7 +255,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         # containing exactly the permanent, failure-immune updates.
         return self.committed
 
-    def _load_page(self, thread, page: int):
+    def _load_page(self, thread, page: int, op: Optional[int] = None):
         home = self.homes.primary_home(page)
         if home == self.node_id:
             # Local fetch: copy our committed copy into the working copy
@@ -269,7 +269,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         required = dict(self.required_versions.get(page, {}))
         self.counters.remote_page_fetches += 1
         data = yield from self.call_service(
-            home, "svm_fetch_page", (page, required))
+            home, "svm_fetch_page", (page, required), op=op)
         if data == RETRY_SENTINEL:
             raise RecoverySignal()
         yield from self.node.mem_copy(self.page_size)
@@ -391,7 +391,8 @@ class FtSvmNodeAgent(SvmNodeAgent):
             self.hooks.fire(Hooks.DIFF_PHASE1_START, self.node_id,
                             seq=fl.seq, tid=thread.thread_id)
             yield from thread.clock.in_category(
-                Category.DIFF, self._send_diffs(fl, "tent"))
+                Category.DIFF, self._traced_send_diffs(fl, "tent",
+                                                       "diff_phase1"))
             self.hooks.fire(Hooks.DIFF_PHASE1_DONE, self.node_id,
                             seq=fl.seq, tid=thread.thread_id)
             fl.stage = STAGE_POINT_B
@@ -409,7 +410,8 @@ class FtSvmNodeAgent(SvmNodeAgent):
                             seq=fl.seq, tid=thread.thread_id)
         if fl.stage == STAGE_PHASE2:
             yield from thread.clock.in_category(
-                Category.DIFF, self._send_diffs(fl, "comm"))
+                Category.DIFF, self._traced_send_diffs(fl, "comm",
+                                                       "diff_phase2"))
             self._unlock_pages(fl.pages)
             del self._inflight[tid]
             self._free_release_slot()
@@ -514,7 +516,23 @@ class FtSvmNodeAgent(SvmNodeAgent):
             self.counters.home_pages_diffed += 1
         return diff
 
-    def _send_diffs(self, fl: _InflightRelease, phase: str):
+    def _traced_send_diffs(self, fl: _InflightRelease, phase: str,
+                           op_class: str):
+        """Run one propagation phase under its own traced operation."""
+        tracer = self.cluster.optrace
+        phase_op = None
+        if tracer is not None:
+            phase_op = tracer.mint(op_class, self.node_id,
+                                   f"{op_class} (seq {fl.seq})")
+        try:
+            yield from self._send_diffs(fl, phase, op=phase_op)
+        finally:
+            if phase_op is not None:
+                tracer.finish(phase_op)
+        return None
+
+    def _send_diffs(self, fl: _InflightRelease, phase: str,
+                    op: Optional[int] = None):
         """One propagation phase: send every diff to the phase's home
         set, then flush each destination (FIFO + waited marker) so the
         stage is stable before the pipeline advances.
@@ -550,7 +568,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
                 body = ("batch", phase, self.node_id, fl.interval,
                         fl.seq, list(diffs))
                 yield from self.notify(target, "svm_diff", body,
-                                       body_bytes=size)
+                                       body_bytes=size, op=op)
         else:
             for target in sorted(by_target):
                 for diff in by_target[target]:
@@ -563,11 +581,12 @@ class FtSvmNodeAgent(SvmNodeAgent):
                                     interval=fl.interval,
                                     page=diff.page_id, target=target)
                     yield from self.notify(target, "svm_diff", body,
-                                           body_bytes=diff.wire_bytes)
+                                           body_bytes=diff.wire_bytes,
+                                           op=op)
         for target in sorted(by_target):
             if target != self.node_id:
                 yield from self.notify(target, "svm_diff_flush", None,
-                                       body_bytes=0, wait=True)
+                                       body_bytes=0, wait=True, op=op)
         return None
 
     def _point_a(self, thread, fl: _InflightRelease):
@@ -582,12 +601,21 @@ class FtSvmNodeAgent(SvmNodeAgent):
             return None
         self.hooks.fire(Hooks.CHECKPOINT_A_START, self.node_id,
                         seq=fl.seq, tid=thread.thread_id)
-        peer_tids = sorted(tid for tid in fl.state_blobs
-                           if tid != thread.thread_id)
-        yield Delay(self.costs.thread_suspend_us * len(peer_tids))
-        for tid in peer_tids:
-            yield from self._ship_thread_state(
-                tid, fl.seq, fl.state_blobs[tid])
+        tracer = self.cluster.optrace
+        ck_op = None
+        if tracer is not None:
+            ck_op = tracer.mint("checkpoint_a", self.node_id,
+                                f"checkpoint A (seq {fl.seq})")
+        try:
+            peer_tids = sorted(tid for tid in fl.state_blobs
+                               if tid != thread.thread_id)
+            yield Delay(self.costs.thread_suspend_us * len(peer_tids))
+            for tid in peer_tids:
+                yield from self._ship_thread_state(
+                    tid, fl.seq, fl.state_blobs[tid], op=ck_op)
+        finally:
+            if ck_op is not None:
+                tracer.finish(ck_op)
         self.hooks.fire(Hooks.CHECKPOINT_A, self.node_id, seq=fl.seq,
                         tid=thread.thread_id)
         return None
@@ -598,19 +626,28 @@ class FtSvmNodeAgent(SvmNodeAgent):
         backup = self.homes.backup_node(self.node_id)
         self.hooks.fire(Hooks.CHECKPOINT_B_START, self.node_id,
                         seq=fl.seq, tid=thread.thread_id)
-        if self.config.protocol.checkpointing:
-            # The releaser runs only protocol code during its own
-            # pipeline, so its commit-frozen state is its current one.
-            blob = fl.state_blobs.get(thread.thread_id)
-            if blob is None:
-                rec = self.runtime.threads[thread.thread_id]
-                blob = encode_thread_state(rec.ctx.state)
-            yield from self._ship_thread_state(thread.thread_id,
-                                               fl.seq, blob)
-        yield from self.notify(
-            backup, CKPT_CHANNEL,
-            ("complete", self.node_id, fl.seq, self.ts.encode()),
-            body_bytes=16 + self.ts.wire_bytes, wait=True)
+        tracer = self.cluster.optrace
+        ck_op = None
+        if tracer is not None:
+            ck_op = tracer.mint("checkpoint_b", self.node_id,
+                                f"checkpoint B (seq {fl.seq})")
+        try:
+            if self.config.protocol.checkpointing:
+                # The releaser runs only protocol code during its own
+                # pipeline, so its commit-frozen state is its current one.
+                blob = fl.state_blobs.get(thread.thread_id)
+                if blob is None:
+                    rec = self.runtime.threads[thread.thread_id]
+                    blob = encode_thread_state(rec.ctx.state)
+                yield from self._ship_thread_state(thread.thread_id,
+                                                   fl.seq, blob, op=ck_op)
+            yield from self.notify(
+                backup, CKPT_CHANNEL,
+                ("complete", self.node_id, fl.seq, self.ts.encode()),
+                body_bytes=16 + self.ts.wire_bytes, wait=True, op=ck_op)
+        finally:
+            if ck_op is not None:
+                tracer.finish(ck_op)
         # Mirrored only after the waited delivery: "complete" in the
         # mirror must coincide with the pipeline being past point B,
         # which is what exempts the release from the recovery rewind
@@ -622,7 +659,8 @@ class FtSvmNodeAgent(SvmNodeAgent):
                         tid=thread.thread_id)
         return None
 
-    def _ship_thread_state(self, tid: int, seq: int, blob: bytes):
+    def _ship_thread_state(self, tid: int, seq: int, blob: bytes,
+                           op: Optional[int] = None):
         # Accounted size includes the modelled native stack (the paper
         # ships context + stack; our explicit state is more compact).
         size = len(blob) + self.costs.checkpoint_stack_bytes
@@ -633,7 +671,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         yield from self.notify(
             backup, CKPT_CHANNEL,
             ("state", self.node_id, tid, seq, blob),
-            body_bytes=size + 32)
+            body_bytes=size + 32, op=op)
         # The blob is this node's own frozen truth; mirroring it eagerly
         # is safe (the mirror is only read while this node is alive).
         self.ckpt_mirror.store_thread_state(self.node_id, tid, seq, blob)
@@ -694,26 +732,38 @@ class FtSvmNodeAgent(SvmNodeAgent):
         yield Delay(self.costs.acquire_base_us)
         self.hooks.fire(Hooks.ACQUIRE_START, self.node_id, lock=lock_id,
                         tid=thread.thread_id)
-        grant_ts = yield from self._recovery_retry(
-            thread, lambda: self.locks.acquire(lock_id))
-        self.counters.acquires += 1
-        yield from self._recovery_retry(
-            thread, lambda: thread.clock.in_category(
-                Category.PROTOCOL, self._apply_incoming_ts(grant_ts)))
+        tracer = self.cluster.optrace
+        acq_op = None
+        if tracer is not None:
+            acq_op = tracer.mint("lock_acquire", self.node_id,
+                                 f"lock {lock_id} acquire")
+        try:
+            grant_ts = yield from self._recovery_retry(
+                thread, lambda: self.locks.acquire(lock_id, op=acq_op))
+            self.counters.acquires += 1
+            yield from self._recovery_retry(
+                thread, lambda: thread.clock.in_category(
+                    Category.PROTOCOL,
+                    self._apply_incoming_ts(grant_ts, op=acq_op)))
+        finally:
+            if acq_op is not None:
+                tracer.finish(acq_op)
         self.hooks.fire(Hooks.LOCK_ACQUIRED, self.node_id, lock=lock_id,
                         tid=thread.thread_id)
         return None
 
-    def _internode_barrier(self, thread, barrier_id: int, state):
+    def _internode_barrier(self, thread, barrier_id: int, state,
+                           op: Optional[int] = None):
         # The whole leader sequence restarts after a recovery: a thread
         # migrated onto this node mid-generation must be gathered and
         # its updates committed before we (re-)exchange.
         yield from self._recovery_retry(
             thread, lambda: self._leader_sequence(thread, barrier_id,
-                                                  state))
+                                                  state, op))
         return None
 
-    def _leader_sequence(self, thread, barrier_id: int, state):
+    def _leader_sequence(self, thread, barrier_id: int, state,
+                         op: Optional[int] = None):
         if thread.thread_id in self._inflight:
             # A pre-failure pipeline paused mid-release still holds its
             # committed pages locked; finish it *before* gathering --
@@ -735,10 +785,11 @@ class FtSvmNodeAgent(SvmNodeAgent):
         # Fresh commit covering everything dirtied up to the barrier,
         # including writes by threads gathered after a recovery.
         yield from self._release_pipeline(thread, None)
-        yield from self._barrier_exchange(thread, barrier_id)
+        yield from self._barrier_exchange(thread, barrier_id, op)
         return None
 
-    def _barrier_exchange(self, thread, barrier_id: int):
+    def _barrier_exchange(self, thread, barrier_id: int,
+                          op: Optional[int] = None):
         from repro.protocol.agent import WRITE_NOTICE_BYTES
         from repro.protocol.barrier import (
             ABORTED,
@@ -756,7 +807,7 @@ class FtSvmNodeAgent(SvmNodeAgent):
         reply = yield from self.call_service(
             manager, BARRIER_SERVICE,
             (barrier_id, self.node_id, gen_no, self.ts.encode(), entries),
-            request_bytes=body_bytes)
+            request_bytes=body_bytes, op=op)
         if reply[0] == ABORTED:
             raise RecoverySignal()
         self.last_barrier_interval = self.interval_no

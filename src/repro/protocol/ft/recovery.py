@@ -268,6 +268,8 @@ class RecoveryManager:
         runtime = self.runtime
         yield self._quiescent
         t_start = self.engine.now
+        tracer = runtime.cluster.optrace
+        wave_ops: Dict[int, int] = {}
         #: tid -> (rec, used_seq, backup_id, ward, max_seq). Keyed so a
         #: thread resumed onto a node that then dies itself is simply
         #: re-resumed by the later wave (latest entry wins).
@@ -278,6 +280,10 @@ class RecoveryManager:
             victim = self._victim_queue[len(processed)]
             self.active = victim
             runtime.cluster.hooks.fire(Hooks.RECOVERY_START, victim)
+            if tracer is not None:
+                wave_ops[victim] = tracer.mint(
+                    "recovery_wave", victim,
+                    f"recovery wave (node {victim})")
             # Exclude every queued-but-unexcluded victim in one batch
             # (snapshotting the map each saw at exclusion) before
             # reconciling any of them: a near-simultaneous pair must
@@ -306,6 +312,8 @@ class RecoveryManager:
             if len(processed) < len(self._victim_queue):
                 # Intermediate victim: protection is restored, but the
                 # rendezvous stays held for the next victim's wave.
+                if tracer is not None and victim in wave_ops:
+                    tracer.finish(wave_ops[victim])
                 runtime.cluster.hooks.fire(
                     Hooks.RECOVERY_DONE, victim,
                     duration_us=self.engine.now - t_start, final=False)
@@ -327,6 +335,8 @@ class RecoveryManager:
         done, self._done_event = self._done_event, None
         self._quiescent = None
         done.succeed(None)
+        if tracer is not None and last in wave_ops:
+            tracer.finish(wave_ops[last])
         runtime.cluster.hooks.fire(Hooks.RECOVERY_DONE, last,
                                    duration_us=self.last_recovery_us,
                                    final=True)
@@ -660,6 +670,12 @@ class RecoveryManager:
         # is running but one-copy-exposed, which is the metric the
         # paper's availability argument cares about.
         yield Delay(reconcile_cost)
+        tracer = runtime.cluster.optrace
+        rerep_op = None
+        if tracer is not None:
+            rerep_op = tracer.mint(
+                "rereplicate", failed,
+                f"re-replicate (node {failed})")
         runtime.cluster.hooks.fire(
             Hooks.REREPLICATE_START, failed,
             pages=len(moved_pages), locks=len(moved_locks),
@@ -668,6 +684,8 @@ class RecoveryManager:
         exposed_us = self.engine.now - self._detected_at.get(
             failed, self.engine.now)
         self.exposed_windows.append(exposed_us)
+        if rerep_op is not None:
+            tracer.finish(rerep_op)
         runtime.cluster.hooks.fire(
             Hooks.REREPLICATE_DONE, failed,
             duration_us=rereplicate_cost, exposed_us=exposed_us)

@@ -88,17 +88,18 @@ class LockManagerBase:
             self._states[lock_id] = st
         return st
 
-    def acquire(self, lock_id: int):
+    def acquire(self, lock_id: int, op: Optional[int] = None):
         """Generator returning the grant timestamp (None when no
         consistency action is needed: first-ever acquire or intra-node
-        handoff)."""
+        handoff). ``op`` is the causal-trace operation id, stamped onto
+        the global acquire's messages (intra-node handoff sends none)."""
         st = self._state(lock_id)
         self.agent.counters.lock_acquires += 1
         while True:
             if st.status is _Status.IDLE:
                 st.status = _Status.ACQUIRING
                 try:
-                    ts = yield from self._global_acquire(lock_id)
+                    ts = yield from self._global_acquire(lock_id, op)
                 except BaseException:
                     st.status = _Status.IDLE
                     self._wake_local_waiters(lock_id)
@@ -149,7 +150,7 @@ class LockManagerBase:
 
     # -- subclass interface ---------------------------------------------------
 
-    def _global_acquire(self, lock_id: int):
+    def _global_acquire(self, lock_id: int, op: Optional[int] = None):
         raise NotImplementedError
         yield  # pragma: no cover
 
@@ -185,7 +186,7 @@ class PollingLocks(LockManagerBase):
             homes.append(self.agent.homes.lock_secondary(lock_id))
         return homes
 
-    def _global_acquire(self, lock_id: int):
+    def _global_acquire(self, lock_id: int, op: Optional[int] = None):
         agent = self.agent
         costs = agent.costs
         n = agent.config.num_nodes
@@ -200,9 +201,9 @@ class PollingLocks(LockManagerBase):
             yield self._delay_op
             yield from agent.deposit(
                 home, LOCKVEC_REGION, vec_base + me,
-                b"\x01", wait=True)
+                b"\x01", wait=True, op=op)
             vec = yield from agent.fetch(
-                home, LOCKVEC_REGION, vec_base, n)
+                home, LOCKVEC_REGION, vec_base, n, op=op)
             # "Any slot other than mine non-zero" via C-level byte
             # counting (the generator version dominated the poll loop).
             contended = (n - vec.count(0) - (1 if vec[me] else 0)) > 0
@@ -211,7 +212,7 @@ class PollingLocks(LockManagerBase):
             agent.counters.lock_retries += 1
             yield from agent.deposit(
                 home, LOCKVEC_REGION, vec_base + me,
-                b"\x00", wait=True)
+                b"\x00", wait=True, op=op)
             # FT: a dead lock holder leaves its slot set forever; after
             # a while, probe the apparent holders (section 4.1's
             # heart-beat principle applied to lock spinning).
@@ -232,9 +233,10 @@ class PollingLocks(LockManagerBase):
             secondary = agent.homes.lock_secondary(lock_id)
             yield from agent.deposit(
                 secondary, LOCKVEC_REGION, self._vec_base(lock_id) + me,
-                b"\x01", wait=True)
+                b"\x01", wait=True, op=op)
         blob = yield from agent.fetch(
-            home, LOCKTS_REGION, lock_id * self._ts_size(), self._ts_size())
+            home, LOCKTS_REGION, lock_id * self._ts_size(), self._ts_size(),
+            op=op)
         if blob == bytes(self._ts_size()):
             return None  # first acquire ever: nothing to invalidate
         return VectorTimestamp.decode(n, blob)
@@ -356,14 +358,14 @@ class QueueingLocks(LockManagerBase):
 
     # -- global acquire/release ---------------------------------------------------
 
-    def _global_acquire(self, lock_id: int):
+    def _global_acquire(self, lock_id: int, op: Optional[int] = None):
         agent = self.agent
         st = self._state(lock_id)
         home = agent.homes.lock_primary(lock_id)
         yield self._delay_op
         st.grant_event = Event(self.engine, f"qlock{lock_id}.grant")
         reply = yield from agent.call_service(
-            home, QLOCK_SERVICE, ("req", lock_id, agent.node_id))
+            home, QLOCK_SERVICE, ("req", lock_id, agent.node_id), op=op)
         if reply[0] == "granted":
             st.grant_event = None
             blob = reply[1]

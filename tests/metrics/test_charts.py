@@ -64,3 +64,39 @@ def test_overhead_bars():
     lu = [l for l in lines if l.startswith("LU")][0]
     assert lu.count("#") == 2 * fft.count("#")
     assert "40.0%" in lu
+
+
+def test_timeseries_panel_clamps_to_terminal_width(monkeypatch):
+    from repro.metrics.charts import timeseries_panel
+
+    monkeypatch.setenv("COLUMNS", "60")
+    monkeypatch.setenv("LINES", "24")
+    times = [float(t) for t in range(0, 10_000, 100)]
+    series = {"messages_per_ms": [float(t % 37) for t in range(100)],
+              "faults": [1.0] * 100}
+    text = timeseries_panel("panel", times, series, width=120, unit="/ms")
+    lines = text.splitlines()
+    # Every rendered row fits the 60-column terminal despite the
+    # requested 120-column sparkline.
+    assert all(len(line) <= 60 for line in lines), max(map(len, lines))
+    # Rows still carry a unit-suffixed peak annotation.
+    assert any("peak 36/ms" in line for line in lines)
+
+
+def test_timeseries_panel_peak_uses_si_units(monkeypatch):
+    from repro.metrics.charts import timeseries_panel
+
+    monkeypatch.setenv("COLUMNS", "120")
+    times = [0.0, 1000.0, 2000.0]
+    text = timeseries_panel(
+        "panel", times,
+        {"bytes": [0.0, 1.5e6, 2.0], "ops": [0.0, 12_300.0, 1.0]})
+    assert "peak 1.5M" in text
+    assert "peak 12.3k" in text
+    assert "e+06" not in text
+
+
+def test_timeseries_panel_empty():
+    from repro.metrics.charts import timeseries_panel
+
+    assert "(no samples)" in timeseries_panel("t", [], {})

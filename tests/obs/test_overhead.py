@@ -19,7 +19,8 @@ def test_figure7_cell_with_obs_off_invokes_no_hooks():
     result = run_app("FFT", "ft", scale="test")
     assert result.elapsed_us > 0
     snap = instrumentation.snapshot()
-    assert snap == {"recorder": 0, "sampler": 0, "watchdog": 0}, snap
+    assert snap == {"recorder": 0, "sampler": 0, "watchdog": 0,
+                    "optrace": 0}, snap
 
 
 def test_counters_move_when_obs_is_on():
